@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short race bench figures figures-paper cover clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper figure (quick scale; use figures-paper for
+# evaluation-scale job counts).
+figures:
+	go run ./cmd/dollymp-bench -scale quick
+
+figures-paper:
+	go run ./cmd/dollymp-bench -scale paper
+
+cover:
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

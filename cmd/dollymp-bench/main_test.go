@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFigureListCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"1", "2", "4", "5-7/pagerank", "5-7/wordcount", "8", "9", "10", "11",
+		"overhead", "ablations", "redundancy", "learning", "estimation", "locality", "analysis"}
+	figs := figures()
+	if len(figs) != len(want) {
+		t.Fatalf("figure count: %d, want %d", len(figs), len(want))
+	}
+	for i, w := range want {
+		if figs[i].id != w {
+			t.Errorf("figure %d: %q, want %q", i, figs[i].id, w)
+		}
+	}
+}
+
+func TestRealMainTextSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain("quick", "2", "text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== Figure 2") || !strings.Contains(out, "46") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRealMainJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain("quick", "2", "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]struct {
+		Tetris  float64
+		DollyMP float64
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["2"].Tetris != 46 || decoded["2"].DollyMP != 28 {
+		t.Fatalf("values: %+v", decoded)
+	}
+}
+
+func TestRealMainErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain("huge", "", "text", &buf); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := realMain("quick", "nosuch", "text", &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := realMain("quick", "2", "xml", &buf); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestGroupWrite(t *testing.T) {
+	var buf bytes.Buffer
+	g := group{}
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

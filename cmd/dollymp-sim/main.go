@@ -1,0 +1,168 @@
+// Command dollymp-sim runs one scheduler over one workload on a chosen
+// fleet and prints per-run metrics, optionally as JSON.
+//
+// Usage:
+//
+//	dollymp-sim -scheduler dollymp2 -workload mixed -jobs 100 -gap 40
+//	dollymp-sim -scheduler tetris -workload google -jobs 500 -fleet 600
+//	dollymp-sim -scheduler capacity -trace jobs.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dollymp"
+	"dollymp/internal/trace"
+	"dollymp/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("scheduler", "dollymp2", "scheduler: dollymp0..3, yarn-dollymp2, capacity, drf, tetris, carbyne, srpt, svf, random")
+		wl        = flag.String("workload", "mixed", "workload: mixed, pagerank, wordcount, google, terasort, mliter")
+		jobs      = flag.Int("jobs", 100, "number of jobs")
+		gap       = flag.Float64("gap", 40, "inter-arrival gap in slots (5s each)")
+		fleet     = flag.String("fleet", "testbed30", "fleet: testbed30, or a server count for a large fleet")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		traceFile = flag.String("trace", "", "replay a JSON trace file instead of generating a workload")
+		scenFile  = flag.String("scenario", "", "run a scenario file (fleet + jobs + events) under -scheduler")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of text")
+		det       = flag.Bool("deterministic", false, "disable duration noise")
+		timeline  = flag.Bool("timeline", false, "print a sampled utilization/backlog timeline")
+	)
+	flag.Parse()
+
+	if *scenFile != "" {
+		if err := runScenario(*scenFile, *schedName, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dollymp-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := realMain(*schedName, *wl, *jobs, *gap, *fleet, *seed, *traceFile, *jsonOut, *det, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "dollymp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// runScenario loads a scenario file and executes it under the named
+// scheduler.
+func runScenario(path, schedName string, jsonOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := dollymp.ReadScenario(f)
+	if err != nil {
+		return err
+	}
+	policy, err := dollymp.NewScheduler(dollymp.Kind(schedName))
+	if err != nil {
+		return err
+	}
+	res, err := sc.Run(policy)
+	if err != nil {
+		return err
+	}
+	return report(res, jsonOut)
+}
+
+func realMain(schedName, wl string, jobs int, gap float64, fleetSpec string, seed uint64, traceFile string, jsonOut, det, timeline bool) error {
+	sched, err := dollymp.NewScheduler(dollymp.Kind(schedName))
+	if err != nil {
+		return err
+	}
+
+	var fleet *dollymp.Cluster
+	if fleetSpec == "testbed30" {
+		fleet = dollymp.Testbed30()
+	} else {
+		var n int
+		if _, err := fmt.Sscanf(fleetSpec, "%d", &n); err != nil || n <= 0 {
+			return fmt.Errorf("invalid -fleet %q (want testbed30 or a positive server count)", fleetSpec)
+		}
+		fleet = dollymp.LargeFleet(n, seed)
+	}
+
+	var work []*workload.Job
+	switch {
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		work, err = trace.Read(f)
+		if err != nil {
+			return err
+		}
+	case wl == "mixed":
+		work = dollymp.MixedWorkload(jobs, int64(gap), seed)
+	case wl == "google":
+		work = dollymp.GoogleWorkload(jobs, gap, seed)
+	case wl == "pagerank" || wl == "wordcount":
+		work, err = trace.Homogeneous(wl, jobs, 10,
+			trace.Arrival{Kind: trace.FixedInterval, MeanGap: gap}, seed)
+		if err != nil {
+			return err
+		}
+	case wl == "terasort":
+		work = make([]*workload.Job, jobs)
+		for i := range work {
+			work[i] = dollymp.TeraSortJob(int64(i), int64(float64(i)*gap), 10, seed+uint64(i))
+		}
+	case wl == "mliter":
+		work = make([]*workload.Job, jobs)
+		for i := range work {
+			work[i] = dollymp.MLIterationJob(int64(i), int64(float64(i)*gap), 3, seed+uint64(i))
+		}
+	default:
+		return fmt.Errorf("unknown -workload %q", wl)
+	}
+
+	res, err := dollymp.Simulate(dollymp.SimConfig{
+		Cluster:        fleet,
+		Jobs:           work,
+		Scheduler:      sched,
+		Seed:           seed,
+		Deterministic:  det,
+		RecordTimeline: timeline,
+	})
+	if err != nil {
+		return err
+	}
+	return report(res, jsonOut)
+}
+
+func report(res *dollymp.Result, jsonOut bool) error {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("scheduler:        %s\n", res.Scheduler)
+	fmt.Printf("jobs completed:   %d\n", len(res.Jobs))
+	fmt.Printf("makespan:         %d slots\n", res.Makespan)
+	fmt.Printf("total flowtime:   %d slots\n", res.TotalFlowtime())
+	fmt.Printf("mean flowtime:    %.1f slots\n", res.MeanFlowtime())
+	fmt.Printf("p50/p95 flowtime: %.0f / %.0f slots\n",
+		res.FlowtimeECDF().Quantile(0.5), res.FlowtimeECDF().Quantile(0.95))
+	fmt.Printf("tasks cloned:     %.1f%%\n", 100*res.ClonedTaskFraction())
+	fmt.Printf("avg utilization:  %.1f%%\n", 100*res.AvgUtilization)
+	fmt.Printf("sched decisions:  %d calls, %v total\n", res.SchedCalls, res.SchedWall)
+	if len(res.Timeline) > 0 {
+		fmt.Println("\ntimeline (sampled):")
+		fmt.Printf("  %8s %12s %14s %10s %10s\n", "slot", "active jobs", "running copies", "cpu util", "mem util")
+		step := len(res.Timeline)/20 + 1
+		for i := 0; i < len(res.Timeline); i += step {
+			p := res.Timeline[i]
+			fmt.Printf("  %8d %12d %14d %9.1f%% %9.1f%%\n",
+				p.Slot, p.ActiveJobs, p.RunningCopies, 100*p.UtilizationCPU, 100*p.UtilizationMem)
+		}
+	}
+	return nil
+}

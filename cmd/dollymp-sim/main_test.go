@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dollymp"
+	"dollymp/internal/trace"
+)
+
+func TestRealMainWorkloads(t *testing.T) {
+	cases := []struct {
+		name string
+		wl   string
+	}{
+		{"mixed", "mixed"},
+		{"google", "google"},
+		{"pagerank", "pagerank"},
+		{"wordcount", "wordcount"},
+		{"terasort", "terasort"},
+		{"mliter", "mliter"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := realMain("dollymp2", c.wl, 6, 5, "testbed30", 1, "", false, false, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRealMainJSONAndLargeFleet(t *testing.T) {
+	if err := realMain("tetris", "google", 6, 3, "50", 1, "", true, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, dollymp.MixedWorkload(4, 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain("capacity", "", 0, 0, "testbed30", 1, path, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainErrors(t *testing.T) {
+	if err := realMain("nosuch", "mixed", 4, 5, "testbed30", 1, "", false, false, false); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := realMain("dollymp2", "nosuch", 4, 5, "testbed30", 1, "", false, false, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := realMain("dollymp2", "mixed", 4, 5, "zero", 1, "", false, false, false); err == nil {
+		t.Error("bad fleet accepted")
+	}
+	if err := realMain("dollymp2", "mixed", 4, 5, "-3", 1, "", false, false, false); err == nil {
+		t.Error("negative fleet accepted")
+	}
+	if err := realMain("dollymp2", "", 0, 0, "testbed30", 1, "/nonexistent/trace.json", false, false, false); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &dollymp.Scenario{
+		Version: 1,
+		Name:    "cli-test",
+		Fleet:   dollymp.FleetSpecs(dollymp.Testbed30()),
+		Jobs:    dollymp.MixedWorkload(4, 5, 2),
+		Seed:    3,
+	}
+	if err := sc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenario(path, "dollymp2", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenario(path, "nosuch", false); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := runScenario(filepath.Join(dir, "missing.json"), "dollymp2", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command dollymp-trace generates synthetic workload traces as JSON for
+// later replay with dollymp-sim -trace, and inspects existing traces.
+//
+// Usage:
+//
+//	dollymp-trace -workload google -jobs 500 -gap 5 > jobs.json
+//	dollymp-trace -inspect jobs.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dollymp"
+	"dollymp/internal/stats"
+	"dollymp/internal/trace"
+	"dollymp/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "google", "workload: mixed, pagerank, wordcount, google")
+		jobs    = flag.Int("jobs", 100, "number of jobs")
+		gap     = flag.Float64("gap", 20, "mean inter-arrival gap in slots")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		inspect = flag.String("inspect", "", "inspect an existing trace file instead of generating")
+	)
+	flag.Parse()
+
+	if err := realMain(*wl, *jobs, *gap, *seed, *inspect); err != nil {
+		fmt.Fprintln(os.Stderr, "dollymp-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(wl string, jobs int, gap float64, seed uint64, inspect string) error {
+	if inspect != "" {
+		f, err := os.Open(inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		work, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		return describe(work)
+	}
+
+	var work []*workload.Job
+	var err error
+	switch wl {
+	case "mixed":
+		work = dollymp.MixedWorkload(jobs, int64(gap), seed)
+	case "google":
+		work = dollymp.GoogleWorkload(jobs, gap, seed)
+	case "pagerank", "wordcount":
+		work, err = trace.Homogeneous(wl, jobs, 10,
+			trace.Arrival{Kind: trace.FixedInterval, MeanGap: gap}, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -workload %q", wl)
+	}
+	return trace.Write(os.Stdout, work)
+}
+
+func describe(work []*workload.Job) error {
+	var tasks, phases int
+	var taskStats, durStats stats.Summary
+	apps := map[string]int{}
+	var lastArrival int64
+	for _, j := range work {
+		apps[j.App]++
+		phases += len(j.Phases)
+		tasks += j.TotalTasks()
+		taskStats.Add(float64(j.TotalTasks()))
+		for _, p := range j.Phases {
+			durStats.Add(p.MeanDuration)
+		}
+		if j.Arrival > lastArrival {
+			lastArrival = j.Arrival
+		}
+	}
+	fmt.Printf("jobs:           %d\n", len(work))
+	fmt.Printf("applications:   %v\n", apps)
+	fmt.Printf("phases:         %d\n", phases)
+	fmt.Printf("tasks:          %d (per job: %s)\n", tasks, taskStats.String())
+	fmt.Printf("phase duration: %s\n", durStats.String())
+	fmt.Printf("arrival span:   %d slots\n", lastArrival)
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dollymp"
+	"dollymp/internal/trace"
+)
+
+func TestGenerateWorkloads(t *testing.T) {
+	// realMain writes to stdout; just verify it succeeds per workload.
+	for _, wl := range []string{"mixed", "google", "pagerank", "wordcount"} {
+		if err := realMain(wl, 5, 4, 1, ""); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+	if err := realMain("nosuch", 5, 4, 1, ""); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, dollymp.GoogleWorkload(5, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain("", 0, 0, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain("", 0, 0, 0, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

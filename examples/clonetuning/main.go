@@ -1,0 +1,56 @@
+// Clone tuning (§6.3.1): sweep the per-task clone cap (DollyMP⁰..³) and
+// the cloning budget δ over one trace-driven workload, showing the
+// paper's two findings — the second clone is worth far more than the
+// third, and a small budget already captures most of the benefit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dollymp"
+)
+
+func main() {
+	fleet := func() *dollymp.Cluster { return dollymp.LargeFleet(150, 5) }
+	jobs := dollymp.GoogleWorkload(150, 3, 5)
+
+	fmt.Println("Clone cap sweep (δ = 0.3):")
+	fmt.Printf("  %-9s %14s %16s %13s\n", "variant", "mean flowtime", "resource usage", "tasks cloned")
+	var base float64
+	for k := 0; k <= 3; k++ {
+		sched, err := dollymp.NewDollyMP(dollymp.WithClones(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dollymp.Simulate(dollymp.SimConfig{
+			Cluster: fleet(), Jobs: jobs, Scheduler: sched, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if k == 0 {
+			base = res.MeanFlowtime()
+		}
+		fmt.Printf("  %-9s %9.1f (%3.0f%%) %16d %12.1f%%\n",
+			sched.Name(), res.MeanFlowtime(), 100*res.MeanFlowtime()/base,
+			res.TotalUsage.CPUMilliSlots/1000, 100*res.ClonedTaskFraction())
+	}
+
+	fmt.Println("\nCloning budget sweep (two clones):")
+	fmt.Printf("  %-6s %14s %13s\n", "δ", "mean flowtime", "tasks cloned")
+	for _, delta := range []float64{0, 0.05, 0.1, 0.3, 0.6, 1.0} {
+		sched, err := dollymp.NewDollyMP(dollymp.WithClones(2), dollymp.WithCloneBudget(delta))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dollymp.Simulate(dollymp.SimConfig{
+			Cluster: fleet(), Jobs: jobs, Scheduler: sched, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6.2f %14.1f %12.1f%%\n",
+			delta, res.MeanFlowtime(), 100*res.ClonedTaskFraction())
+	}
+}

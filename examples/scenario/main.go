@@ -1,0 +1,63 @@
+// Scenario files: define one reproducible experiment — fleet, workload,
+// fault schedule — write it to disk, and run every scheduler over the
+// identical conditions. This is how to share a benchmark setup with
+// someone else: they replay the JSON and get bit-identical results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dollymp"
+)
+
+func main() {
+	sc := &dollymp.Scenario{
+		Version: 1,
+		Name:    "degraded-fleet-shootout",
+		Fleet:   dollymp.FleetSpecs(dollymp.LargeFleet(24, 11)),
+		Jobs:    dollymp.GoogleWorkload(60, 4, 11),
+		Events: []dollymp.FleetEvent{
+			{At: 20, Server: 2, Kind: dollymp.EventSlowdown, Factor: 0.3},
+			{At: 20, Server: 9, Kind: dollymp.EventSlowdown, Factor: 0.3},
+			{At: 45, Server: 5, Kind: dollymp.EventFail},
+			{At: 120, Server: 5, Kind: dollymp.EventRestore},
+		},
+		Seed: 11,
+	}
+
+	// Persist the scenario; `dollymp-sim -scenario <file> -scheduler X`
+	// replays it from the shell.
+	path := filepath.Join(os.TempDir(), "dollymp-scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sc.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scenario written to", path)
+	fmt.Println()
+
+	fmt.Printf("%-14s %14s %14s %12s\n", "scheduler", "mean flowtime", "makespan", "copies lost")
+	for _, kind := range []dollymp.Kind{
+		dollymp.KindCapacity, dollymp.KindTetris, dollymp.KindCarbyne,
+		dollymp.KindDollyMP2, dollymp.KindYARN,
+	} {
+		policy, err := dollymp.NewScheduler(kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sc.Run(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %14.1f %14d %12d\n",
+			kind, res.MeanFlowtime(), res.Makespan, res.CopiesLostToFailures)
+	}
+}

@@ -1,0 +1,147 @@
+package dollymp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dollymp"
+)
+
+func TestScenarioRoundTripViaFacade(t *testing.T) {
+	sc := &dollymp.Scenario{
+		Version: 1,
+		Name:    "facade",
+		Fleet:   dollymp.FleetSpecs(dollymp.Testbed30()),
+		Jobs:    dollymp.MixedWorkload(6, 5, 2),
+		Seed:    4,
+	}
+	var buf bytes.Buffer
+	if err := sc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dollymp.ReadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := dollymp.NewScheduler(dollymp.KindDollyMP2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got.Run(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 6 {
+		t.Fatalf("completed %d/6", len(res.Jobs))
+	}
+}
+
+func TestVerifyTraceViaFacade(t *testing.T) {
+	fleet := dollymp.Testbed30()
+	jobs := dollymp.MixedWorkload(6, 5, 3)
+	policy, err := dollymp.NewScheduler(dollymp.KindYARN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dollymp.Simulate(dollymp.SimConfig{
+		Cluster: fleet, Jobs: jobs, Scheduler: policy, Seed: 5, RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dollymp.VerifyTrace(res, dollymp.Testbed30(), jobs); err != nil {
+		t.Fatalf("certification failed: %v", err)
+	}
+	// A corrupted trace must fail certification.
+	res.Trace = res.Trace[:len(res.Trace)-1]
+	if err := dollymp.VerifyTrace(res, dollymp.Testbed30(), jobs); err == nil {
+		t.Fatal("truncated trace certified")
+	}
+}
+
+func TestRandomKindBeatenByDollyMP(t *testing.T) {
+	jobs := dollymp.MixedWorkload(20, 4, 6)
+	run := func(kind dollymp.Kind) int64 {
+		s, err := dollymp.NewScheduler(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dollymp.Simulate(dollymp.SimConfig{
+			Cluster: dollymp.Testbed30(), Jobs: jobs, Scheduler: s, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalFlowtime()
+	}
+	if d, r := run(dollymp.KindDollyMP2), run(dollymp.KindRandom); d >= r {
+		t.Fatalf("dollymp2 (%d) should beat random (%d)", d, r)
+	}
+}
+
+func TestEstimationKindViaFacade(t *testing.T) {
+	s, err := dollymp.NewDollyMP(dollymp.WithEstimation(dollymp.EstimationConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dollymp.Simulate(dollymp.SimConfig{
+		Cluster:   dollymp.Testbed30(),
+		Jobs:      dollymp.MixedWorkload(8, 5, 9),
+		Scheduler: s,
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 8 {
+		t.Fatalf("completed %d/8", len(res.Jobs))
+	}
+}
+
+// anti is a minimal custom scheduler implemented purely against the
+// public API: FIFO, first-fit.
+type anti struct{}
+
+func (anti) Name() string { return "custom-fifo" }
+
+func (anti) Schedule(ctx dollymp.SchedulerContext) []dollymp.Placement {
+	ft := dollymp.NewFitTracker(ctx.Cluster())
+	var out []dollymp.Placement
+	for _, js := range ctx.Jobs() {
+		cur := dollymp.NewJobCursor(js)
+		for {
+			pt, ok := cur.Peek()
+			if !ok {
+				break
+			}
+			srv, ok := ft.BestFit(pt.Demand)
+			if !ok {
+				break
+			}
+			ft.Place(srv, pt.Demand)
+			out = append(out, dollymp.Placement{Ref: pt.Ref, Server: srv})
+			cur.Advance()
+		}
+	}
+	return out
+}
+
+func TestCustomSchedulerViaPublicAPI(t *testing.T) {
+	jobs := dollymp.MixedWorkload(8, 5, 21)
+	res, err := dollymp.Simulate(dollymp.SimConfig{
+		Cluster:     dollymp.Testbed30(),
+		Jobs:        jobs,
+		Scheduler:   anti{},
+		Seed:        21,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 8 {
+		t.Fatalf("completed %d/8", len(res.Jobs))
+	}
+	if err := dollymp.VerifyTrace(res, dollymp.Testbed30(), jobs); err != nil {
+		t.Fatalf("custom scheduler trace failed certification: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module dollymp
+
+go 1.22

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dollymp/internal/resources"
+	"dollymp/internal/stats"
+)
+
+// Testbed30 builds the paper's private 30-node cluster (§6.1): two
+// powerful servers (24 cores, 48 GB), seven normal servers (16 cores,
+// 32–64 GB), and 21 small nodes (8 cores, 16 GB), 328 cores in total,
+// across two racks. Powerful servers run tasks faster.
+func Testbed30() *Cluster {
+	specs := make([]Spec, 0, 30)
+	for i := 0; i < 2; i++ {
+		specs = append(specs, Spec{
+			Name:     fmt.Sprintf("power-%d", i),
+			Capacity: resources.Cores(24, 48),
+			Speed:    1.5,
+			Rack:     0,
+		})
+	}
+	for i := 0; i < 7; i++ {
+		gib := int64(32)
+		if i%2 == 1 {
+			gib = 64
+		}
+		specs = append(specs, Spec{
+			Name:     fmt.Sprintf("normal-%d", i),
+			Capacity: resources.Cores(16, gib),
+			Speed:    1.2,
+			Rack:     i % 2,
+		})
+	}
+	for i := 0; i < 21; i++ {
+		specs = append(specs, Spec{
+			Name:     fmt.Sprintf("small-%d", i),
+			Capacity: resources.Cores(8, 16),
+			Speed:    1.0,
+			Rack:     1 - i%2,
+		})
+	}
+	c, err := New(specs)
+	if err != nil {
+		panic("cluster: Testbed30 construction failed: " + err.Error())
+	}
+	return c
+}
+
+// LargeFleet builds an n-server heterogeneous fleet in the style of the
+// trace-driven simulations (§6.3, 30K servers): a mix of three machine
+// classes with randomized speeds. Deterministic for a given seed.
+func LargeFleet(n int, seed uint64) *Cluster {
+	rng := stats.NewRNG(seed)
+	specs := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		var cap resources.Vector
+		var speed float64
+		switch {
+		case i%10 == 0: // 10% big machines
+			cap = resources.Cores(32, 64)
+			speed = rng.Range(1.3, 1.6)
+		case i%10 < 4: // 30% medium machines
+			cap = resources.Cores(16, 32)
+			speed = rng.Range(1.0, 1.3)
+		default: // 60% small machines
+			cap = resources.Cores(8, 16)
+			speed = rng.Range(0.8, 1.1)
+		}
+		specs = append(specs, Spec{
+			Name:     fmt.Sprintf("node-%d", i),
+			Capacity: cap,
+			Speed:    speed,
+			Rack:     i / 40,
+		})
+	}
+	c, err := New(specs)
+	if err != nil {
+		panic("cluster: LargeFleet construction failed: " + err.Error())
+	}
+	return c
+}
+
+// Uniform builds n identical servers; convenient for unit tests and the
+// analytical examples (§4.1 uses a single unit-capacity server).
+func Uniform(n int, cap resources.Vector) *Cluster {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Name: fmt.Sprintf("u-%d", i), Capacity: cap, Speed: 1}
+	}
+	c, err := New(specs)
+	if err != nil {
+		panic("cluster: Uniform construction failed: " + err.Error())
+	}
+	return c
+}

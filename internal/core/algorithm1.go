@@ -1,0 +1,145 @@
+// Package core implements the DollyMP scheduler: the transient
+// knapsack-priority procedure of Algorithm 1 and the online multi-
+// resource scheduling process with task cloning of Algorithm 2.
+//
+// The key idea (§4.2): jobs are bucketed into geometric deadline classes
+// 2^l by effective processing time, and within each class a unit-profit
+// knapsack packs as many jobs as possible by effective volume. The class
+// at which a job is first packed is its priority — small-and-packable
+// jobs come first (the SRPT/SVF blend), yet every job inside a class is
+// treated equally, avoiding both SRPT's fragmentation and SVF's
+// starvation of large jobs.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dollymp/internal/knapsack"
+	"dollymp/internal/workload"
+)
+
+// JobInfo is Algorithm 1's per-job input: the (possibly updated) volume
+// v_j(t) of Eq. (16), the remaining effective processing time e_j(t) of
+// Eq. (17), and the job's largest per-task dominant share.
+type JobInfo struct {
+	ID workload.JobID
+	// Volume is v_j, in units of cluster-fraction × slots.
+	Volume float64
+	// Time is e_j, in slots.
+	Time float64
+	// Dominant is max_k d_j^k across remaining phases.
+	Dominant float64
+}
+
+// Priorities runs Algorithm 1's classification (Steps 2–11) and returns
+// each job's priority class p_j ≥ 1 (smaller is scheduled earlier).
+// Jobs that no class packs fall into class g+1.
+func Priorities(jobs []JobInfo) map[workload.JobID]int {
+	out := make(map[workload.JobID]int, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	g := classCount(jobs)
+	assigned := make(map[workload.JobID]bool, len(jobs))
+	for l := 1; l <= g; l++ {
+		budget := math.Pow(2, float64(l))
+		// B_l = {j : e_j ≤ 2^l}.
+		var items []knapsack.Item
+		idx := make(map[int]workload.JobID)
+		for i, j := range jobs {
+			if j.Time <= budget {
+				items = append(items, knapsack.Item{ID: i, Weight: j.Volume})
+				idx[i] = j.ID
+			}
+		}
+		for _, id := range knapsack.MaxCardinality(items, budget) {
+			jid := idx[id]
+			if !assigned[jid] {
+				assigned[jid] = true
+				out[jid] = l
+			}
+		}
+	}
+	for _, j := range jobs {
+		if !assigned[j.ID] {
+			out[j.ID] = g + 1
+		}
+	}
+	return out
+}
+
+// classCount computes g = log₂(Σ v_j / (1 − max_j d_j)) per Algorithm 1
+// Step 2, widened so that 2^g covers the largest e_j (otherwise online
+// instances with long jobs would leave them unclassified).
+func classCount(jobs []JobInfo) int {
+	sumV := 0.0
+	maxD := 0.0
+	maxT := 0.0
+	for _, j := range jobs {
+		sumV += j.Volume
+		if j.Dominant > maxD {
+			maxD = j.Dominant
+		}
+		if j.Time > maxT {
+			maxT = j.Time
+		}
+	}
+	if maxD >= 1 {
+		maxD = 1 - 1e-9 // a single task can at most fill the cluster
+	}
+	g := 1
+	if sumV > 0 {
+		g = int(math.Ceil(math.Log2(sumV / (1 - maxD))))
+	}
+	if maxT > 0 {
+		if need := int(math.Ceil(math.Log2(maxT))); need > g {
+			g = need
+		}
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// SortByPriority returns the job IDs ordered by ascending priority class,
+// breaking ties by ascending volume then ID (within a class all jobs are
+// equal to the oracle; volume order keeps the result deterministic and
+// slightly favors small jobs, matching §4.1's guidance).
+func SortByPriority(jobs []JobInfo, prio map[workload.JobID]int) []workload.JobID {
+	byID := make(map[workload.JobID]JobInfo, len(jobs))
+	ids := make([]workload.JobID, 0, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+		ids = append(ids, j.ID)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		pa, pb := prio[ids[a]], prio[ids[b]]
+		if pa != pb {
+			return pa < pb
+		}
+		va, vb := byID[ids[a]].Volume, byID[ids[b]].Volume
+		if va != vb {
+			return va < vb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// CloneTarget implements Corollary 4.1's clone count: the smallest r with
+// 2^l·h(r) ≥ e, capped at maxR; i.e. the number of copies that squeezes
+// the job's expected time under its class deadline. Returns at least 1
+// (the original copy).
+func CloneTarget(h func(int) float64, e float64, class int, maxR int) int {
+	deadline := math.Pow(2, float64(class))
+	if deadline <= 0 || e <= deadline {
+		return 1
+	}
+	r := 1
+	for r < maxR && deadline*h(r) < e {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+func TestPrioritiesEmpty(t *testing.T) {
+	if got := Priorities(nil); len(got) != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestPrioritiesSmallJobsFirst(t *testing.T) {
+	jobs := []JobInfo{
+		{ID: 1, Volume: 0.5, Time: 1.5, Dominant: 0.1},  // small, fast
+		{ID: 2, Volume: 8.0, Time: 30.0, Dominant: 0.3}, // big, slow
+		{ID: 3, Volume: 0.8, Time: 1.8, Dominant: 0.1},  // small, fast
+	}
+	p := Priorities(jobs)
+	if p[1] >= p[2] || p[3] >= p[2] {
+		t.Fatalf("small jobs must precede the big one: %v", p)
+	}
+	if p[1] != 1 {
+		t.Errorf("job 1 (e=1.5 ≤ 2, v=0.5 ≤ 2) should be class 1: %v", p)
+	}
+}
+
+func TestPrioritiesKnapsackRespectsBudget(t *testing.T) {
+	// Three jobs with e ≤ 2 but volumes 1.5 each: class-1 budget is 2,
+	// only one fits; the rest are packed at a later class.
+	jobs := []JobInfo{
+		{ID: 1, Volume: 1.5, Time: 1, Dominant: 0.1},
+		{ID: 2, Volume: 1.5, Time: 1, Dominant: 0.1},
+		{ID: 3, Volume: 1.5, Time: 1, Dominant: 0.1},
+	}
+	p := Priorities(jobs)
+	class1 := 0
+	for _, c := range p {
+		if c == 1 {
+			class1++
+		}
+	}
+	if class1 != 1 {
+		t.Fatalf("class-1 budget 2 fits exactly one 1.5-volume job: %v", p)
+	}
+	// Per Algorithm 1, already-packed jobs still occupy later budgets:
+	// class 2 (budget 4) holds jobs 1+2 (3.0 ≤ 4 but 4.5 > 4), class 3
+	// (budget 8) admits all three. So priorities are 1, 2, 3.
+	if p[1] != 1 || p[2] != 2 || p[3] != 3 {
+		t.Fatalf("staircase expected: %v", p)
+	}
+}
+
+func TestPrioritiesCoverLongJobs(t *testing.T) {
+	// A job whose e exceeds the Step-2 g must still get a class.
+	jobs := []JobInfo{
+		{ID: 1, Volume: 0.1, Time: 1, Dominant: 0.05},
+		{ID: 2, Volume: 0.2, Time: 500, Dominant: 0.05},
+	}
+	p := Priorities(jobs)
+	if _, ok := p[2]; !ok {
+		t.Fatal("long job unclassified")
+	}
+	if p[2] <= p[1] {
+		t.Fatalf("long job must rank after the short one: %v", p)
+	}
+}
+
+func TestPrioritiesAllJobsAssigned(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		jobs := make([]JobInfo, len(raw))
+		for i, v := range raw {
+			jobs[i] = JobInfo{
+				ID:       workload.JobID(i),
+				Volume:   float64(v%100)/10 + 0.01,
+				Time:     float64(v%50) + 1,
+				Dominant: float64(v%9)/10 + 0.01,
+			}
+		}
+		p := Priorities(jobs)
+		if len(p) != len(jobs) {
+			return false
+		}
+		for _, c := range p {
+			if c < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling every volume up can only push priorities later.
+func TestPrioritiesMonotoneInLoad(t *testing.T) {
+	base := []JobInfo{
+		{ID: 1, Volume: 0.4, Time: 2, Dominant: 0.1},
+		{ID: 2, Volume: 1.1, Time: 3, Dominant: 0.2},
+		{ID: 3, Volume: 2.0, Time: 6, Dominant: 0.2},
+	}
+	p1 := Priorities(base)
+	heavy := make([]JobInfo, len(base))
+	copy(heavy, base)
+	for i := range heavy {
+		heavy[i].Volume *= 4
+	}
+	p2 := Priorities(heavy)
+	for id := range p1 {
+		if p2[id] < p1[id] {
+			t.Fatalf("job %d priority improved under heavier load: %v -> %v", id, p1, p2)
+		}
+	}
+}
+
+func TestSortByPriority(t *testing.T) {
+	jobs := []JobInfo{
+		{ID: 1, Volume: 3, Time: 10, Dominant: 0.2},
+		{ID: 2, Volume: 0.5, Time: 1, Dominant: 0.1},
+		{ID: 3, Volume: 0.4, Time: 1, Dominant: 0.1},
+	}
+	p := Priorities(jobs)
+	order := SortByPriority(jobs, p)
+	if len(order) != 3 {
+		t.Fatalf("order: %v", order)
+	}
+	// Jobs 2 and 3 are class 1; volume tie-break puts 3 before 2.
+	if order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("order: %v (prios %v)", order, p)
+	}
+}
+
+func TestCloneTarget(t *testing.T) {
+	h := func(r int) float64 { return stats.ParetoSpeedup(2, r) } // 2 − 1/r
+	// e within deadline → 1 copy.
+	if got := CloneTarget(h, 1.5, 1, 3); got != 1 {
+		t.Errorf("within deadline: %d", got)
+	}
+	// e = 3, class 1 (deadline 2): need h(r) ≥ 1.5 → r = 2.
+	if got := CloneTarget(h, 3, 1, 3); got != 2 {
+		t.Errorf("need 2 copies: %d", got)
+	}
+	// Unreachable → capped at maxR.
+	if got := CloneTarget(h, 100, 1, 3); got != 3 {
+		t.Errorf("cap: %d", got)
+	}
+}
+
+func TestClassCountGuards(t *testing.T) {
+	// Dominant ≥ 1 must not divide by zero.
+	jobs := []JobInfo{{ID: 1, Volume: 2, Time: 2, Dominant: 1.0}}
+	p := Priorities(jobs)
+	if len(p) != 1 {
+		t.Fatal("job lost")
+	}
+	// Zero volume: still classified.
+	p = Priorities([]JobInfo{{ID: 1, Volume: 0, Time: 1, Dominant: 0}})
+	if p[1] != 1 {
+		t.Fatalf("zero-volume job: %v", p)
+	}
+	if !math.IsInf(math.Log2(0), -1) {
+		t.Skip() // sanity about the guard's purpose
+	}
+}

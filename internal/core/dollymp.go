@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/estimate"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/workload"
+)
+
+// Scheduler is the online DollyMP scheduler (Algorithm 2). Construct with
+// New; the clone limit selects the DollyMP⁰/¹/²/³ variant of the
+// evaluation.
+type Scheduler struct {
+	// maxClones is the maximum number of extra copies per running task
+	// (2 by default, per §5's two-clone rule).
+	maxClones int
+	// r is the variance factor in e = θ + r·σ (default 1.5, §6.1).
+	r float64
+	// delta is the cloning budget: clone copies may hold at most
+	// delta × total cluster capacity in each dimension (default 0.3,
+	// §6.1), implementing §4.1's rule that cloning must not crowd out
+	// the demand of other jobs.
+	delta float64
+	// avoidStragglers enables the paper's future-work extension:
+	// servers are visited fastest-learned-first (using the online
+	// speed estimates of sched.Context.ObservedServerSpeed), steering
+	// work away from straggler-prone machines.
+	avoidStragglers bool
+	// estimator, when set, replaces the declared task statistics with
+	// §5.2-style AM estimates (current phase → recurring jobs →
+	// framework history → prior). Without it the scheduler reads the
+	// workload's declared mean/sd, the oracle setting.
+	estimator *estimate.Estimator
+	// speculate switches the redundancy mechanism from proactive
+	// cloning to reactive LATE-style speculation: instead of clone
+	// passes, a single backup copy is launched for a running task once
+	// it has run longer than specThreshold × the phase's observed mean
+	// (with ≥ specMinSamples completed tasks). Used to compare the two
+	// redundancy mechanisms under the identical scheduling policy —
+	// the contrast §1 draws.
+	speculate     bool
+	specThreshold float64
+	specMinSample int
+
+	prios map[workload.JobID]int
+}
+
+// Option configures the scheduler.
+type Option func(*Scheduler)
+
+// WithClones sets the per-task clone limit k (DollyMP^k). k must be in
+// [0, 3].
+func WithClones(k int) Option {
+	return func(s *Scheduler) { s.maxClones = k }
+}
+
+// WithVarianceFactor sets r in e = θ + r·σ.
+func WithVarianceFactor(r float64) Option {
+	return func(s *Scheduler) { s.r = r }
+}
+
+// WithCloneBudget sets δ, the cluster-capacity fraction clones may hold.
+func WithCloneBudget(delta float64) Option {
+	return func(s *Scheduler) { s.delta = delta }
+}
+
+// WithStragglerAvoidance enables learned straggler-prone-server
+// avoidance (the paper's §8 future work): servers are considered
+// fastest-first according to online speed estimates.
+func WithStragglerAvoidance(on bool) Option {
+	return func(s *Scheduler) { s.avoidStragglers = on }
+}
+
+// WithEstimation makes the scheduler estimate task statistics the way
+// the paper's Application Master does (§5.2) instead of reading the
+// declared ground truth.
+func WithEstimation(cfg estimate.Config) Option {
+	return func(s *Scheduler) { s.estimator = estimate.New(cfg) }
+}
+
+// WithSpeculation replaces proactive cloning with reactive LATE-style
+// speculation under the same DollyMP priorities and δ budget: one backup
+// for a running task once its elapsed time exceeds threshold × the
+// phase's observed mean over at least minSamples completed tasks.
+// Combine with WithClones(0)-like behaviour implicitly — the clone
+// passes are disabled while speculation is on.
+func WithSpeculation(threshold float64, minSamples int) Option {
+	return func(s *Scheduler) {
+		s.speculate = true
+		s.specThreshold = threshold
+		s.specMinSample = minSamples
+	}
+}
+
+// New builds a DollyMP scheduler with the paper's defaults: two clones,
+// r = 1.5, δ = 0.3.
+func New(opts ...Option) (*Scheduler, error) {
+	s := &Scheduler{
+		maxClones: 2,
+		r:         1.5,
+		delta:     0.3,
+		prios:     make(map[workload.JobID]int),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxClones < 0 || s.maxClones > 3 {
+		return nil, fmt.Errorf("core: clone limit %d out of [0, 3]", s.maxClones)
+	}
+	if s.speculate {
+		if !(s.specThreshold > 1) {
+			return nil, fmt.Errorf("core: speculation threshold %v must exceed 1", s.specThreshold)
+		}
+		if s.specMinSample < 1 {
+			return nil, fmt.Errorf("core: speculation needs at least 1 sample, got %d", s.specMinSample)
+		}
+	}
+	if s.r < 0 {
+		return nil, fmt.Errorf("core: variance factor %v negative", s.r)
+	}
+	if s.delta < 0 || s.delta > 1 {
+		return nil, fmt.Errorf("core: clone budget %v out of [0, 1]", s.delta)
+	}
+	return s, nil
+}
+
+// MustNew is New panicking on error; for tests and examples with
+// constant options.
+func MustNew(opts ...Option) *Scheduler {
+	s, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements sched.Scheduler, reporting the DollyMP^k variant (or
+// the speculation variant).
+func (s *Scheduler) Name() string {
+	if s.speculate {
+		return "dollymp-spec"
+	}
+	return fmt.Sprintf("dollymp%d", s.maxClones)
+}
+
+// MaxClones returns the per-task clone limit.
+func (s *Scheduler) MaxClones() int { return s.maxClones }
+
+// OnJobArrival implements sched.ArrivalAware: priorities are recomputed
+// only when a new job enters the cluster (§5), using the updated volumes
+// and processing times of Eqs. (16)–(17).
+func (s *Scheduler) OnJobArrival(ctx sched.Context, _ *workload.JobState) {
+	s.recompute(ctx)
+}
+
+func (s *Scheduler) recompute(ctx sched.Context) {
+	total := ctx.Cluster().Total()
+	jobs := ctx.Jobs()
+	infos := make([]JobInfo, 0, len(jobs))
+	for _, js := range jobs {
+		infos = append(infos, s.jobInfo(ctx, js, total))
+	}
+	s.prios = Priorities(infos)
+}
+
+func (s *Scheduler) jobInfo(ctx sched.Context, js *workload.JobState, total resources.Vector) JobInfo {
+	maxD := 0.0
+	for k := range js.Job.Phases {
+		if js.RemainingTasks(workload.PhaseID(k)) == 0 {
+			continue
+		}
+		if d := js.Job.Phases[k].DominantShare(total); d > maxD {
+			maxD = d
+		}
+	}
+	eff := func(k workload.PhaseID) float64 {
+		return js.Job.Phases[k].EffectiveDuration(s.r)
+	}
+	if s.estimator != nil {
+		eff = func(k workload.PhaseID) float64 {
+			est := s.estimatePhase(ctx, js, k)
+			return est.Mean + s.r*est.SD
+		}
+	}
+	return JobInfo{
+		ID:       js.Job.ID,
+		Volume:   js.UpdatedVolumeWith(total, eff),
+		Time:     js.UpdatedProcessingTimeWith(eff),
+		Dominant: maxD,
+	}
+}
+
+// estimatePhase produces the §5.2 AM estimate for one phase, using only
+// observed statistics — never the declared ground truth.
+func (s *Scheduler) estimatePhase(ctx sched.Context, js *workload.JobState, k workload.PhaseID) estimate.Estimate {
+	key := estimate.Key{App: js.Job.App, Phase: js.Job.Phases[k].Name}
+	mean, sd, n := ctx.PhaseStats(js.Job.ID, k)
+	if n == 0 {
+		// PhaseStats falls back to declared values when nothing has
+		// completed; estimation mode must not see them.
+		mean, sd = 0, 0
+	} else {
+		s.estimator.Record(key, mean, sd, n)
+	}
+	return s.estimator.Estimate(key, mean, sd, n)
+}
+
+// harvest feeds every active job's observed phase statistics into the
+// estimator so recurring-job history survives job completion.
+func (s *Scheduler) harvest(ctx sched.Context) {
+	for _, js := range ctx.Jobs() {
+		for k := range js.Job.Phases {
+			kid := workload.PhaseID(k)
+			mean, sd, n := ctx.PhaseStats(js.Job.ID, kid)
+			if n > 0 {
+				s.estimator.Record(estimate.Key{App: js.Job.App, Phase: js.Job.Phases[k].Name}, mean, sd, n)
+			}
+		}
+	}
+}
+
+// Schedule implements Algorithm 2: a new-task pass over priority classes
+// (best resource fit within a class), then up to maxClones clone passes
+// over running tasks in the same priority order, constrained by the δ
+// cloning budget.
+func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
+	jobs := ctx.Jobs()
+	if len(jobs) == 0 {
+		return nil
+	}
+	if s.estimator != nil {
+		s.harvest(ctx)
+	}
+	// A job without a priority (e.g. first call before any arrival
+	// notification) forces a recompute.
+	for _, js := range jobs {
+		if _, ok := s.prios[js.Job.ID]; !ok {
+			s.recompute(ctx)
+			break
+		}
+	}
+
+	total := ctx.Cluster().Total()
+	ft := sched.NewFitTracker(ctx.Cluster())
+
+	// Group jobs by priority class.
+	classes := make(map[int][]*workload.JobState)
+	maxClass := 0
+	for _, js := range jobs {
+		p := s.prios[js.Job.ID]
+		classes[p] = append(classes[p], js)
+		if p > maxClass {
+			maxClass = p
+		}
+	}
+
+	// Per-job lazy task cursors: O(1) per probe regardless of backlog
+	// depth, which keeps heavy-load decisions O(active jobs).
+	cursors := make(map[workload.JobID]*sched.JobCursor, len(jobs))
+	for _, js := range jobs {
+		cursors[js.Job.ID] = sched.NewJobCursor(js)
+	}
+
+	var out []sched.Placement
+
+	// New-task pass (Steps 6–15): per server, classes in ascending
+	// order; within a class pick the task maximizing the inner product
+	// between demand and the server's remaining capacity.
+	for _, srv := range s.serverOrder(ctx) {
+		if ft.Free(srv.ID).IsZero() {
+			continue
+		}
+		for l := 1; l <= maxClass; l++ {
+			members := classes[l]
+			if len(members) == 0 {
+				continue
+			}
+			for {
+				bestJob := -1
+				bestScore := -1.0
+				free := ft.Free(srv.ID)
+				for i, js := range members {
+					pt, ok := cursors[js.Job.ID].Peek()
+					if !ok {
+						continue
+					}
+					if !pt.Demand.Fits(free) {
+						continue
+					}
+					score := pt.Demand.Dot(free, total)
+					if score > bestScore {
+						bestScore = score
+						bestJob = i
+					}
+				}
+				if bestJob < 0 {
+					break
+				}
+				cur := cursors[members[bestJob].Job.ID]
+				pt, _ := cur.Peek()
+				ft.Place(srv.ID, pt.Demand)
+				cur.Advance()
+				out = append(out, sched.Placement{Ref: pt.Ref, Server: srv.ID})
+			}
+		}
+	}
+
+	// Redundancy: clone passes (Step 16) by default; LATE-style backups
+	// when speculation is selected. Both run only after the new-task
+	// pass and both respect the δ budget.
+	switch {
+	case s.speculate:
+		out = append(out, s.speculationPass(ctx, ft, classes, maxClass, cursors)...)
+	case s.maxClones > 0:
+		out = append(out, s.clonePasses(ctx, ft, classes, maxClass, cursors)...)
+	}
+	return out
+}
+
+// speculationPass launches one backup copy per detected straggler, in
+// priority-class order, within the δ budget. Detection mirrors the
+// Capacity baseline's LATE rule but placement follows DollyMP's
+// priorities instead of best effort.
+func (s *Scheduler) speculationPass(
+	ctx sched.Context,
+	ft *sched.FitTracker,
+	classes map[int][]*workload.JobState,
+	maxClass int,
+	cursors map[workload.JobID]*sched.JobCursor,
+) []sched.Placement {
+	total := ctx.Cluster().Total()
+	budget := resources.Vec(
+		int64(s.delta*float64(total.CPUMilli)),
+		int64(s.delta*float64(total.MemMiB)),
+	)
+	cloneUse := ctx.CloneUsage()
+	now := ctx.Now()
+
+	var out []sched.Placement
+	for l := 1; l <= maxClass; l++ {
+		for _, js := range classes[l] {
+			if !cursors[js.Job.ID].Exhausted() {
+				continue // pending work first, as with cloning
+			}
+			for _, k := range js.ReadyPhases() {
+				if js.RunningCount(k) == 0 {
+					continue
+				}
+				mean, _, n := ctx.PhaseStats(js.Job.ID, k)
+				if n < s.specMinSample || mean <= 0 {
+					continue
+				}
+				demand := js.Job.Phases[k].Demand
+				for _, lidx := range js.RunningTasks(k) {
+					ref := workload.TaskRef{Job: js.Job.ID, Phase: k, Index: lidx}
+					copies := ctx.Copies(ref)
+					if len(copies) != 1 {
+						continue // already has a backup
+					}
+					if float64(now-copies[0].Start) <= s.specThreshold*mean {
+						continue
+					}
+					next := cloneUse.Add(demand)
+					if !next.Fits(budget) {
+						continue
+					}
+					srv, ok := ft.BestFit(demand)
+					if !ok {
+						continue
+					}
+					ft.Place(srv, demand)
+					cloneUse = next
+					out = append(out, sched.Placement{Ref: ref, Server: srv})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// serverOrder returns the fleet in placement-visit order: by ID, or —
+// with straggler avoidance on — fastest learned speed first so work
+// lands on healthy machines before straggler-prone ones.
+func (s *Scheduler) serverOrder(ctx sched.Context) []*cluster.Server {
+	servers := ctx.Cluster().Servers()
+	if !s.avoidStragglers {
+		return servers
+	}
+	ordered := make([]*cluster.Server, len(servers))
+	copy(ordered, servers)
+	speed := make([]float64, len(servers))
+	for _, srv := range servers {
+		est, n := ctx.ObservedServerSpeed(srv.ID)
+		if n == 0 {
+			est = 1
+		}
+		speed[srv.ID] = est
+	}
+	sort.SliceStable(ordered, func(a, b int) bool {
+		sa, sb := speed[ordered[a].ID], speed[ordered[b].ID]
+		if sa != sb {
+			return sa > sb
+		}
+		return ordered[a].ID < ordered[b].ID
+	})
+	return ordered
+}
+
+// clonePasses launches up to maxClones extra copies per running task in
+// priority order, keeping total clone-held resources under δ × capacity.
+func (s *Scheduler) clonePasses(
+	ctx sched.Context,
+	ft *sched.FitTracker,
+	classes map[int][]*workload.JobState,
+	maxClass int,
+	cursors map[workload.JobID]*sched.JobCursor,
+) []sched.Placement {
+	total := ctx.Cluster().Total()
+	budget := resources.Vec(
+		int64(s.delta*float64(total.CPUMilli)),
+		int64(s.delta*float64(total.MemMiB)),
+	)
+	cloneUse := ctx.CloneUsage()
+	added := make(map[workload.TaskRef]int)
+
+	var out []sched.Placement
+	for pass := 1; pass <= s.maxClones; pass++ {
+		for l := 1; l <= maxClass; l++ {
+			for _, js := range classes[l] {
+				// §4.1/§5: clones are for jobs whose new tasks are all
+				// placed; a job with pending tasks still waits for
+				// capacity, so racing clones ahead of them would harm
+				// the very jobs the pass is meant to help.
+				if !cursors[js.Job.ID].Exhausted() {
+					continue
+				}
+				for _, k := range js.ReadyPhases() {
+					if js.RunningCount(k) == 0 {
+						continue
+					}
+					demand := js.Job.Phases[k].Demand
+					for _, lidx := range js.RunningTasks(k) {
+						ref := workload.TaskRef{Job: js.Job.ID, Phase: k, Index: lidx}
+						copies := len(ctx.Copies(ref)) + added[ref]
+						if copies == 0 || copies != pass {
+							// Pass p tops tasks up to p+1 copies total.
+							continue
+						}
+						next := cloneUse.Add(demand)
+						if !next.Fits(budget) {
+							continue // δ budget exhausted for this shape
+						}
+						srv, ok := ft.BestFit(demand)
+						if !ok {
+							continue
+						}
+						ft.Place(srv, demand)
+						cloneUse = next
+						added[ref]++
+						out = append(out, sched.Placement{Ref: ref, Server: srv})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

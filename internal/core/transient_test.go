@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+func TestTransientValidation(t *testing.T) {
+	bad := []TransientJob{
+		{ID: 1, Dominant: 0, Duration: 1},
+		{ID: 1, Dominant: 1.5, Duration: 1},
+		{ID: 1, Dominant: 0.5, Duration: 0},
+		{ID: 1, Dominant: 0.5, Duration: -2},
+	}
+	for _, j := range bad {
+		if _, err := TransientSchedule([]TransientJob{j}, NoClones); err == nil {
+			t.Errorf("accepted invalid job %+v", j)
+		}
+	}
+}
+
+func TestTransientSingleJob(t *testing.T) {
+	r, err := TransientSchedule([]TransientJob{{ID: 1, Dominant: 1, Duration: 7}}, NoClones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completion[1] != 7 || r.TotalFlowtime != 7 || r.Clones[1] != 0 {
+		t.Fatalf("single job: %+v", r)
+	}
+}
+
+func TestTransientSmallJobsFirst(t *testing.T) {
+	// Full-capacity jobs with distinct durations serialize in SRPT
+	// order regardless of input order.
+	jobs := []TransientJob{
+		{ID: 1, Dominant: 1, Duration: 20},
+		{ID: 2, Dominant: 1, Duration: 1},
+		{ID: 3, Dominant: 1, Duration: 5},
+	}
+	r, err := TransientSchedule(jobs, NoClones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completion[2] != 1 || r.Completion[3] != 6 || r.Completion[1] != 26 {
+		t.Fatalf("order: %+v", r.Completion)
+	}
+	if r.TotalFlowtime != 33 {
+		t.Fatalf("total: %v", r.TotalFlowtime)
+	}
+}
+
+func TestTransientParallelPacking(t *testing.T) {
+	// Two half-capacity jobs run together.
+	jobs := []TransientJob{
+		{ID: 1, Dominant: 0.5, Duration: 10},
+		{ID: 2, Dominant: 0.5, Duration: 10},
+	}
+	r, err := TransientSchedule(jobs, NoClones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completion[1] != 10 || r.Completion[2] != 10 {
+		t.Fatalf("packing: %+v", r.Completion)
+	}
+}
+
+func paretoH(alpha float64) func(int) float64 {
+	return func(r int) float64 { return stats.ParetoSpeedup(alpha, r) }
+}
+
+func TestHeadCloneSpeedsUpBlockedHead(t *testing.T) {
+	// Job 2 (0.4 share) admits; job 1 (0.8) cannot; with HeadClone, job
+	// 2 gets one extra copy and finishes in 10/h(2) instead of 10.
+	h := paretoH(2) // h(2) = 1.5
+	jobs := []TransientJob{
+		{ID: 1, Dominant: 0.8, Duration: 40, Speedup: h},
+		{ID: 2, Dominant: 0.4, Duration: 10, Speedup: h},
+	}
+	r, err := TransientSchedule(jobs, HeadClone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 / 1.5
+	if math.Abs(r.Completion[2]-want) > 1e-9 {
+		t.Fatalf("cloned head: %v, want %v", r.Completion[2], want)
+	}
+	if r.Clones[2] != 1 {
+		t.Fatalf("clones: %+v", r.Clones)
+	}
+	// Job 1 starts after job 2 completes.
+	if math.Abs(r.Completion[1]-(want+40)) > 1e-9 {
+		t.Fatalf("blocked job: %v", r.Completion[1])
+	}
+}
+
+func TestCorollaryClonesReduceFlowtime(t *testing.T) {
+	// Small jobs with heavy tails: the corollary's clone rule must not
+	// increase total flowtime relative to no cloning.
+	h := paretoH(2)
+	jobs := []TransientJob{
+		{ID: 1, Dominant: 0.2, Duration: 12, Speedup: h},
+		{ID: 2, Dominant: 0.2, Duration: 9, Speedup: h},
+		{ID: 3, Dominant: 0.2, Duration: 3, Speedup: h},
+	}
+	plain, err := TransientSchedule(jobs, NoClones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned, err := TransientSchedule(jobs, CorollaryClones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloned.TotalFlowtime > plain.TotalFlowtime+1e-9 {
+		t.Fatalf("corollary clones should not hurt: %v vs %v",
+			cloned.TotalFlowtime, plain.TotalFlowtime)
+	}
+}
+
+func TestTransientLowerBound(t *testing.T) {
+	jobs := []TransientJob{
+		{ID: 1, Dominant: 1, Duration: 4},
+		{ID: 2, Dominant: 1, Duration: 2},
+	}
+	// Volume bound: volumes {2,4} → 2 + 6 = 8; duration bound 6.
+	if got := TransientLowerBound(jobs, 1); got != 8 {
+		t.Fatalf("lower bound: %v", got)
+	}
+	// With speedup bound 2, duration bound halves; volume bound wins.
+	if got := TransientLowerBound(jobs, 2); got != 8 {
+		t.Fatalf("lower bound with speedup: %v", got)
+	}
+}
+
+// Property: Theorem 1/Corollary 4.1 flavour — under every policy the
+// schedule stays within 6R of the lower bound on random instances.
+func TestTransientCompetitiveProperty(t *testing.T) {
+	alpha := 2.0
+	maxSpeed := alpha / (alpha - 1) // sup_r h(r) = R
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		jobs := make([]TransientJob, len(raw))
+		for i, v := range raw {
+			jobs[i] = TransientJob{
+				ID:       workload.JobID(i),
+				Dominant: float64(v%9)/10 + 0.1,
+				Duration: float64(v%31) + 1,
+				Speedup:  paretoH(alpha),
+			}
+		}
+		lb := TransientLowerBound(jobs, maxSpeed)
+		for _, policy := range []ClonePolicy{NoClones, HeadClone, CorollaryClones} {
+			r, err := TransientSchedule(jobs, policy)
+			if err != nil {
+				return false
+			}
+			if r.TotalFlowtime > 6*maxSpeed*lb+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/metrics"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/tetris"
+)
+
+// Ablations isolate DollyMP's design choices: the δ cloning budget, the
+// variance factor r in e = θ + r·σ, and the Tetris ε weight the §2
+// example turns on.
+
+// CloneBudgetPoint is one δ setting's outcome.
+type CloneBudgetPoint struct {
+	Delta          float64
+	TotalFlowtime  int64
+	ExtraResources float64 // usage vs δ=0, minus 1
+	ClonedTaskFrac float64
+}
+
+// AblationCloneBudgetResult sweeps δ for DollyMP².
+type AblationCloneBudgetResult struct {
+	Points []CloneBudgetPoint
+}
+
+// AblationCloneBudget runs the δ sweep on the trace-driven workload.
+// The shape: flowtime drops steeply for small δ and flattens, while
+// resource overhead keeps growing — the basis for the paper's δ = 0.3.
+func AblationCloneBudget(sc Scale, deltas []float64) (*AblationCloneBudgetResult, error) {
+	fleetFn := func() *cluster.Cluster { return cluster.LargeFleet(sc.Fleet, sc.Seed) }
+	jobs := googleWorkload(sc.jobs(300), fleetFn(), 0.6, sc.Seed)
+	total := fleetFn().Total()
+
+	res := &AblationCloneBudgetResult{}
+	baseUsage := -1.0
+	for _, d := range deltas {
+		s, err := core.New(core.WithClones(2), core.WithCloneBudget(d))
+		if err != nil {
+			return nil, err
+		}
+		out, err := run(fleetFn, jobs, s, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		usage := 0.0
+		for _, j := range out.Jobs {
+			usage += j.Usage.Normalized(total)
+		}
+		if baseUsage < 0 {
+			baseUsage = usage
+		}
+		extra := 0.0
+		if baseUsage > 0 {
+			extra = usage/baseUsage - 1
+		}
+		res.Points = append(res.Points, CloneBudgetPoint{
+			Delta:          d,
+			TotalFlowtime:  out.TotalFlowtime(),
+			ExtraResources: extra,
+			ClonedTaskFrac: out.ClonedTaskFraction(),
+		})
+	}
+	return res, nil
+}
+
+// Write renders the sweep.
+func (r *AblationCloneBudgetResult) Write(w io.Writer) error {
+	tab := &metrics.Table{
+		Title:   "Ablation: cloning budget δ (DollyMP²)",
+		Columns: []string{"δ", "total flowtime", "extra resources", "tasks cloned"},
+	}
+	for _, p := range r.Points {
+		tab.AddRow(p.Delta, float64(p.TotalFlowtime),
+			fmt.Sprintf("%.1f%%", 100*p.ExtraResources),
+			fmt.Sprintf("%.1f%%", 100*p.ClonedTaskFrac))
+	}
+	return tab.Write(w)
+}
+
+// AblationVarianceFactorResult sweeps r, the variance penalty in the
+// effective processing time (§5; the body text uses r = 1, the
+// evaluation r = 1.5).
+type AblationVarianceFactorResult struct {
+	Rs        []float64
+	Flowtimes []int64
+}
+
+// AblationVarianceFactor runs the r sweep.
+func AblationVarianceFactor(sc Scale, rs []float64) (*AblationVarianceFactorResult, error) {
+	fleetFn := func() *cluster.Cluster { return cluster.LargeFleet(sc.Fleet, sc.Seed) }
+	jobs := googleWorkload(sc.jobs(300), fleetFn(), 0.9, sc.Seed)
+	res := &AblationVarianceFactorResult{Rs: rs}
+	for _, r := range rs {
+		s, err := core.New(core.WithVarianceFactor(r))
+		if err != nil {
+			return nil, err
+		}
+		out, err := run(fleetFn, jobs, s, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Flowtimes = append(res.Flowtimes, out.TotalFlowtime())
+	}
+	return res, nil
+}
+
+// Write renders the sweep.
+func (r *AblationVarianceFactorResult) Write(w io.Writer) error {
+	tab := &metrics.Table{
+		Title:   "Ablation: variance factor r in e = θ + r·σ (DollyMP²)",
+		Columns: []string{"r", "total flowtime"},
+	}
+	for i := range r.Rs {
+		tab.AddRow(r.Rs[i], float64(r.Flowtimes[i]))
+	}
+	return tab.Write(w)
+}
+
+// AblationTetrisEpsilonResult sweeps Tetris's ε weight between alignment
+// and the resource-usage term.
+type AblationTetrisEpsilonResult struct {
+	Epsilons  []float64
+	Flowtimes []int64
+}
+
+// AblationTetrisEpsilon runs the ε sweep on the heavy-load PageRank
+// workload.
+func AblationTetrisEpsilon(sc Scale, eps []float64) (*AblationTetrisEpsilonResult, error) {
+	jobs := heavyPagerank(sc.jobs(200), 4, sc.Seed)
+	res := &AblationTetrisEpsilonResult{Epsilons: eps}
+	for _, e := range eps {
+		var s sched.Scheduler = &tetris.Scheduler{Epsilon: e, R: 1.5}
+		out, err := run(func() *cluster.Cluster { return cluster.Testbed30() }, jobs, s, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Flowtimes = append(res.Flowtimes, out.TotalFlowtime())
+	}
+	return res, nil
+}
+
+// Write renders the sweep.
+func (r *AblationTetrisEpsilonResult) Write(w io.Writer) error {
+	tab := &metrics.Table{
+		Title:   "Ablation: Tetris ε (alignment vs resource-usage weight)",
+		Columns: []string{"ε", "total flowtime"},
+	}
+	for i := range r.Epsilons {
+		tab.AddRow(r.Epsilons[i], float64(r.Flowtimes[i]))
+	}
+	return tab.Write(w)
+}

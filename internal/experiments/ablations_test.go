@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationCloneBudget(t *testing.T) {
+	r, err := AblationCloneBudget(Quick(), []float64{0, 0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points: %+v", r)
+	}
+	// δ = 0 must clone nothing and set the usage baseline.
+	if r.Points[0].ClonedTaskFrac != 0 || r.Points[0].ExtraResources != 0 {
+		t.Fatalf("δ=0 point: %+v", r.Points[0])
+	}
+	// Any positive budget must beat no budget on flowtime here (heavy
+	// tails, spare capacity).
+	if r.Points[1].TotalFlowtime >= r.Points[0].TotalFlowtime {
+		t.Errorf("δ=0.1 should beat δ=0: %+v", r.Points)
+	}
+	// Resource overhead is monotone in δ.
+	if r.Points[2].ExtraResources < r.Points[1].ExtraResources {
+		t.Errorf("overhead should grow with δ: %+v", r.Points)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil || buf.Len() == 0 {
+		t.Errorf("write: %v", err)
+	}
+}
+
+func TestAblationVarianceFactor(t *testing.T) {
+	r, err := AblationVarianceFactor(Quick(), []float64{0, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Flowtimes) != 2 {
+		t.Fatalf("flowtimes: %+v", r)
+	}
+	for _, f := range r.Flowtimes {
+		if f <= 0 {
+			t.Fatalf("bad flowtime: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil || buf.Len() == 0 {
+		t.Errorf("write: %v", err)
+	}
+}
+
+func TestAblationTetrisEpsilon(t *testing.T) {
+	r, err := AblationTetrisEpsilon(Quick(), []float64{0.01, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Flowtimes) != 2 {
+		t.Fatalf("flowtimes: %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil || buf.Len() == 0 {
+		t.Errorf("write: %v", err)
+	}
+}

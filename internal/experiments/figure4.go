@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"io"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/metrics"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/capacity"
+	"dollymp/internal/sched/drf"
+	"dollymp/internal/sched/tetris"
+	"dollymp/internal/trace"
+)
+
+// Figure4Result holds the §6.2.1 lightly-loaded deployment experiment:
+// 100 jobs (half PageRank, half WordCount) arriving ~200 s apart on the
+// 30-node testbed. Fig. 4a reports total flowtime per scheduler; Fig. 4b
+// the running-time CDF. Paper shapes: DollyMP² ≈10% below Capacity on
+// flowtime; 95% of jobs finish within the time only 80% reach under
+// Capacity.
+type Figure4Result struct {
+	// TotalFlowtime (slots) per scheduler, Fig. 4a.
+	TotalFlowtime map[string]float64
+	MeanFlowtime  map[string]float64
+	// RunningCDF per scheduler, Fig. 4b.
+	RunningCDF []metrics.Series
+	Order      []string
+}
+
+// Figure4Config parameterizes the experiment.
+type Figure4Config struct {
+	Jobs     int
+	GapSlots int64 // inter-arrival gap; 40 slots ≈ 200 s at 5 s slots
+	Seed     uint64
+}
+
+// DefaultFigure4 matches §6.2.1 at the given scale.
+func DefaultFigure4(sc Scale) Figure4Config {
+	return Figure4Config{Jobs: sc.jobs(100), GapSlots: 40, Seed: sc.Seed}
+}
+
+// Figure4 runs the experiment.
+func Figure4(cfg Figure4Config) (*Figure4Result, error) {
+	jobs := trace.MixedDeployment(cfg.Jobs,
+		trace.Arrival{Kind: trace.FixedInterval, MeanGap: float64(cfg.GapSlots)}, cfg.Seed)
+	scheds := []sched.Scheduler{
+		capacity.Default(),
+		&tetris.Scheduler{R: 1.5},
+		&drf.Scheduler{},
+		dolly(0), dolly(1), dolly(2),
+	}
+	res := &Figure4Result{
+		TotalFlowtime: make(map[string]float64),
+		MeanFlowtime:  make(map[string]float64),
+	}
+	outs, err := runAll(func() *cluster.Cluster { return cluster.Testbed30() }, jobs, scheds, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		name := scheds[i].Name()
+		if err := checkJobs(out, len(jobs), "figure4/"+name); err != nil {
+			return nil, err
+		}
+		res.Order = append(res.Order, name)
+		res.TotalFlowtime[name] = float64(out.TotalFlowtime())
+		res.MeanFlowtime[name] = out.MeanFlowtime()
+		res.RunningCDF = append(res.RunningCDF,
+			metrics.CDFSeries(name, out.RunningTimes(), 20))
+	}
+	return res, nil
+}
+
+// Write renders Fig. 4a and 4b.
+func (r *Figure4Result) Write(w io.Writer) error {
+	tab := &metrics.Table{
+		Title:   "Figure 4a: total job flowtime, lightly loaded (slots)",
+		Columns: []string{"scheduler", "total flowtime", "mean flowtime"},
+	}
+	for _, name := range r.Order {
+		tab.AddRow(name, r.TotalFlowtime[name], r.MeanFlowtime[name])
+	}
+	if err := tab.Write(w); err != nil {
+		return err
+	}
+	return metrics.SeriesTable("Figure 4b: running time CDF", "slots", r.RunningCDF).Write(w)
+}

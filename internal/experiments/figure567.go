@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"io"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/metrics"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/capacity"
+	"dollymp/internal/sched/tetris"
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+// HeavyLoadResult holds one §6.2.2 heavy-load experiment (500 jobs of one
+// application arriving ~20 s apart) for one application, covering three
+// paper figures at once:
+//   - Fig. 5: running-time CDF per scheduler,
+//   - Fig. 6: flowtime CDF per scheduler,
+//   - Fig. 7: cumulative flowtime over arrivals per scheduler.
+//
+// Paper shapes: every DollyMP job finishes within a running time only
+// ~80% of Tetris jobs reach; DollyMP's total flowtime is ~50% below
+// Capacity and ~30% below Tetris.
+type HeavyLoadResult struct {
+	App           string
+	Order         []string
+	RunningCDF    []metrics.Series // Fig. 5
+	FlowtimeCDF   []metrics.Series // Fig. 6
+	Cumulative    []metrics.Series // Fig. 7
+	TotalFlowtime map[string]float64
+}
+
+// HeavyLoadConfig parameterizes the experiment.
+type HeavyLoadConfig struct {
+	App      string // "pagerank" or "wordcount"
+	Jobs     int
+	GapSlots int64 // 4 slots ≈ 20 s
+	Seed     uint64
+}
+
+// DefaultHeavyLoad matches §6.2.2 for the given application.
+func DefaultHeavyLoad(sc Scale, app string) HeavyLoadConfig {
+	return HeavyLoadConfig{App: app, Jobs: sc.jobs(500), GapSlots: 4, Seed: sc.Seed}
+}
+
+// HeavyLoad runs one heavy-load experiment under Capacity, Tetris and
+// DollyMP² (the schedulers Figs. 5–7 plot).
+func HeavyLoad(cfg HeavyLoadConfig) (*HeavyLoadResult, error) {
+	var jobs []*workload.Job
+	switch cfg.App {
+	case "pagerank":
+		jobs = heavyPagerank(cfg.Jobs, cfg.GapSlots, cfg.Seed)
+	case "wordcount":
+		jobs = heavyWordcount(cfg.Jobs, cfg.GapSlots, cfg.Seed)
+	default:
+		return nil, errUnknownApp(cfg.App)
+	}
+	scheds := []sched.Scheduler{
+		capacity.Default(),
+		&tetris.Scheduler{R: 1.5},
+		dolly(2),
+	}
+	res := &HeavyLoadResult{
+		App:           cfg.App,
+		TotalFlowtime: make(map[string]float64),
+	}
+	outs, err := runAll(func() *cluster.Cluster { return cluster.Testbed30() }, jobs, scheds, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		name := scheds[i].Name()
+		if err := checkJobs(out, len(jobs), "heavyload/"+name); err != nil {
+			return nil, err
+		}
+		res.Order = append(res.Order, name)
+		res.RunningCDF = append(res.RunningCDF, metrics.CDFSeries(name, out.RunningTimes(), 20))
+		res.FlowtimeCDF = append(res.FlowtimeCDF, metrics.CDFSeries(name, out.Flowtimes(), 20))
+		res.Cumulative = append(res.Cumulative, metrics.Series{
+			Name:   name,
+			Points: sampleCumulative(out.CumulativeFlowtime(), 20),
+		})
+		res.TotalFlowtime[name] = float64(out.TotalFlowtime())
+	}
+	return res, nil
+}
+
+// sampleCumulative thins the cumulative-flowtime series to n points for
+// tabular output.
+func sampleCumulative(pts []stats.Point, n int) []stats.Point {
+	if len(pts) <= n {
+		return pts
+	}
+	out := make([]stats.Point, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := i*len(pts)/n - 1
+		out = append(out, pts[idx])
+	}
+	return out
+}
+
+type errUnknownApp string
+
+func (e errUnknownApp) Error() string { return "experiments: unknown application " + string(e) }
+
+// Write renders Figs. 5, 6 and 7 for this application.
+func (r *HeavyLoadResult) Write(w io.Writer) error {
+	if err := metrics.SeriesTable("Figure 5 ("+r.App+"): running time CDF, heavy load", "slots", r.RunningCDF).Write(w); err != nil {
+		return err
+	}
+	if err := metrics.SeriesTable("Figure 6 ("+r.App+"): flowtime CDF, heavy load", "slots", r.FlowtimeCDF).Write(w); err != nil {
+		return err
+	}
+	cum := &metrics.Table{
+		Title:   "Figure 7 (" + r.App + "): cumulative flowtime over arrivals (slots)",
+		Columns: append([]string{"arrival"}, r.Order...),
+	}
+	if len(r.Cumulative) > 0 {
+		for i := range r.Cumulative[0].Points {
+			row := []interface{}{r.Cumulative[0].Points[i].X}
+			for _, s := range r.Cumulative {
+				if i < len(s.Points) {
+					row = append(row, s.Points[i].Y)
+				} else {
+					row = append(row, "-")
+				}
+			}
+			cum.AddRow(row...)
+		}
+	}
+	if err := cum.Write(w); err != nil {
+		return err
+	}
+	tab := &metrics.Table{
+		Title:   "Figure 7 summary (" + r.App + "): total flowtime (slots)",
+		Columns: []string{"scheduler", "total flowtime"},
+	}
+	for _, name := range r.Order {
+		tab.AddRow(name, r.TotalFlowtime[name])
+	}
+	return tab.Write(w)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"io"
+
+	"dollymp/internal/metrics"
+	"dollymp/internal/sched/drf"
+	"dollymp/internal/sched/tetris"
+	"dollymp/internal/stats"
+)
+
+// Figure8Result holds the §6.3.1 trace-driven comparison at moderate
+// load: DollyMP² against Tetris on per-job duration and against DRF on
+// per-job resource usage. Paper shapes: ≥40% of jobs gain ≥30% in
+// flowtime vs Tetris with an average speedup of 22%; ~70% of jobs use
+// about double the resources of DRF while the total overhead stays
+// ~60%; makespan drops ~18%.
+type Figure8Result struct {
+	// DurationRatioCDF is the CDF of flowtime(DollyMP²)/flowtime(Tetris)
+	// per job (Fig. 8a).
+	DurationRatioCDF metrics.Series
+	// ResourceRatioCDF is the CDF of usage(DollyMP²)/usage(DRF) per job
+	// (Fig. 8b).
+	ResourceRatioCDF metrics.Series
+	// FracSpedUp30 is the fraction of jobs ≥30% faster than Tetris.
+	FracSpedUp30 float64
+	// AvgSpeedup is 1 − mean(flow_D2)/mean(flow_Tetris).
+	AvgSpeedup float64
+	// ResourceOverhead is total usage(D2)/total usage(DRF) − 1.
+	ResourceOverhead float64
+	// MakespanReduction is 1 − makespan(D2)/makespan(Tetris).
+	MakespanReduction float64
+}
+
+// Figure8Config parameterizes the experiment.
+type Figure8Config struct {
+	Jobs  int
+	Fleet int
+	// Load is the target arrival load (fraction of fleet capacity);
+	// §6.3.1 notes "the cluster load is not high".
+	Load float64
+	Seed uint64
+}
+
+// DefaultFigure8 matches §6.3.1 at the given scale.
+func DefaultFigure8(sc Scale) Figure8Config {
+	return Figure8Config{Jobs: sc.jobs(600), Fleet: sc.Fleet, Load: 0.5, Seed: sc.Seed}
+}
+
+// Figure8 runs the experiment.
+func Figure8(cfg Figure8Config) (*Figure8Result, error) {
+	sc := Scale{Fleet: cfg.Fleet, Seed: cfg.Seed}
+	fleet := sc.fleetFor()
+	jobs := googleWorkload(cfg.Jobs, fleet(), cfg.Load, cfg.Seed)
+
+	d2, err := run(fleet, jobs, dolly(2), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tet, err := run(fleet, jobs, &tetris.Scheduler{R: 1.5}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := run(fleet, jobs, &drf.Scheduler{}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	fa, fb := pairedFlowtimes(d2, tet)
+	durRatios := stats.Ratios(fa, fb)
+	ua, ub := pairedNormalizedUsage(d2, dr, fleet())
+	useRatios := stats.Ratios(ua, ub)
+
+	res := &Figure8Result{
+		DurationRatioCDF: metrics.CDFSeries("flow(D2)/flow(Tetris)", durRatios, 20),
+		ResourceRatioCDF: metrics.CDFSeries("use(D2)/use(DRF)", useRatios, 20),
+		FracSpedUp30:     stats.FractionBelow(durRatios, 0.7),
+		AvgSpeedup:       1 - stats.Mean(fa)/stats.Mean(fb),
+	}
+	if tot := stats.Sum(ub); tot > 0 {
+		res.ResourceOverhead = stats.Sum(ua)/tot - 1
+	}
+	if tet.Makespan > 0 {
+		res.MakespanReduction = 1 - float64(d2.Makespan)/float64(tet.Makespan)
+	}
+	return res, nil
+}
+
+// Write renders the two ratio CDFs and the headline numbers.
+func (r *Figure8Result) Write(w io.Writer) error {
+	if err := metrics.SeriesTable("Figure 8a: job duration ratio DollyMP²/Tetris", "ratio",
+		[]metrics.Series{r.DurationRatioCDF}).Write(w); err != nil {
+		return err
+	}
+	if err := metrics.SeriesTable("Figure 8b: resource usage ratio DollyMP²/DRF", "ratio",
+		[]metrics.Series{r.ResourceRatioCDF}).Write(w); err != nil {
+		return err
+	}
+	tab := &metrics.Table{Title: "Figure 8 summary", Columns: []string{"metric", "value"}}
+	tab.AddRow("jobs ≥30% faster vs Tetris", r.FracSpedUp30)
+	tab.AddRow("average speedup vs Tetris", r.AvgSpeedup)
+	tab.AddRow("total resource overhead vs DRF", r.ResourceOverhead)
+	tab.AddRow("makespan reduction vs Tetris", r.MakespanReduction)
+	return tab.Write(w)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/sim"
+)
+
+// StragglerAvoidanceResult evaluates the §8 future-work extension this
+// repository implements: online learning of straggler-prone servers.
+// A fraction of the fleet suffers background slowdown; DollyMP² with
+// learned server ordering is compared to plain DollyMP².
+type StragglerAvoidanceResult struct {
+	// BaselineFlowtime and LearnedFlowtime are total flowtimes without
+	// and with avoidance.
+	BaselineFlowtime int64
+	LearnedFlowtime  int64
+	// Reduction is 1 − learned/baseline.
+	Reduction float64
+}
+
+// StragglerAvoidanceConfig parameterizes the experiment.
+type StragglerAvoidanceConfig struct {
+	Jobs  int
+	Fleet int
+	// SlowFraction of servers run at SlowFactor speed from slot 0.
+	SlowFraction float64
+	SlowFactor   float64
+	Seed         uint64
+}
+
+// DefaultStragglerAvoidance slows a quarter of the fleet to 30%.
+func DefaultStragglerAvoidance(sc Scale) StragglerAvoidanceConfig {
+	return StragglerAvoidanceConfig{
+		Jobs:         sc.jobs(300),
+		Fleet:        sc.Fleet,
+		SlowFraction: 0.25,
+		SlowFactor:   0.3,
+		Seed:         sc.Seed,
+	}
+}
+
+// StragglerAvoidance runs the comparison.
+func StragglerAvoidance(cfg StragglerAvoidanceConfig) (*StragglerAvoidanceResult, error) {
+	fleetFn := func() *cluster.Cluster { return cluster.LargeFleet(cfg.Fleet, cfg.Seed) }
+	jobs := googleWorkload(cfg.Jobs, fleetFn(), 0.4, cfg.Seed)
+
+	var events []sim.Event
+	slow := int(float64(cfg.Fleet) * cfg.SlowFraction)
+	for i := 0; i < slow; i++ {
+		events = append(events, sim.Event{
+			At: 0, Server: cluster.ServerID(i * cfg.Fleet / max(slow, 1)),
+			Kind: sim.EventSlowdown, Factor: cfg.SlowFactor,
+		})
+	}
+
+	runOne := func(s *core.Scheduler) (*sim.Result, error) {
+		e, err := sim.New(sim.Config{
+			Cluster: fleetFn(), Jobs: jobs, Scheduler: s, Seed: cfg.Seed,
+			Events: events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e.Run()
+	}
+
+	base, err := runOne(core.MustNew())
+	if err != nil {
+		return nil, err
+	}
+	learned, err := runOne(core.MustNew(core.WithStragglerAvoidance(true)))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &StragglerAvoidanceResult{
+		BaselineFlowtime: base.TotalFlowtime(),
+		LearnedFlowtime:  learned.TotalFlowtime(),
+	}
+	if base.TotalFlowtime() > 0 {
+		res.Reduction = 1 - float64(learned.TotalFlowtime())/float64(base.TotalFlowtime())
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Write renders the comparison.
+func (r *StragglerAvoidanceResult) Write(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"Straggler-avoidance extension (§8 future work):\n"+
+			"  DollyMP² total flowtime:           %d\n"+
+			"  DollyMP² + learned server order:   %d (−%.1f%%)\n",
+		r.BaselineFlowtime, r.LearnedFlowtime, 100*r.Reduction)
+	return err
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/sched"
+	"dollymp/internal/sim"
+	"dollymp/internal/workload"
+)
+
+// runAll executes one simulation per scheduler concurrently — every
+// engine owns a private cluster copy and RNG, so runs are independent —
+// and returns results in input order. Concurrency is capped at
+// GOMAXPROCS; a single error aborts the batch.
+func runAll(fleet func() *cluster.Cluster, jobs []*workload.Job, scheds []sched.Scheduler, seed uint64) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(scheds))
+	errs := make([]error, len(scheds))
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, s := range scheds {
+		wg.Add(1)
+		go func(i int, s sched.Scheduler) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = run(fleet, jobs, s, seed)
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", scheds[i].Name(), err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,179 @@
+// Package metrics renders experiment results as the rows and series the
+// paper's tables and figures report: aligned text tables, CDF series, and
+// cross-scheduler comparison summaries.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dollymp/internal/stats"
+)
+
+// Table is a titled grid of rows rendered with aligned columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Write(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named plotted line (e.g. one scheduler's CDF).
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// SeriesTable renders several series as a quantile table: one row per
+// probability level, one column per series — the textual form of the
+// paper's CDF figures.
+func SeriesTable(title, xlabel string, series []Series) *Table {
+	t := &Table{Title: title, Columns: append([]string{"CDF"}, names(series)...)}
+	if len(series) == 0 {
+		return t
+	}
+	n := len(series[0].Points)
+	for i := 0; i < n; i++ {
+		row := make([]interface{}, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%.2f", series[0].Points[i].Y))
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.1f", s.Points[i].X))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Title = fmt.Sprintf("%s (x = %s)", title, xlabel)
+	return t
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// CDFSeries samples an ECDF into a plottable series at n quantiles.
+func CDFSeries(name string, samples []float64, n int) Series {
+	return Series{Name: name, Points: stats.NewECDF(samples).Points(n)}
+}
+
+// Comparison summarizes one scheduler-vs-baseline contrast the way the
+// paper's prose does: mean reduction and the fraction of jobs improved by
+// at least a threshold.
+type Comparison struct {
+	Name     string
+	Baseline string
+	// MeanReduction is 1 − mean(subject)/mean(baseline).
+	MeanReduction float64
+	// FracImproved30 is the fraction of jobs whose metric dropped by
+	// ≥ 30% relative to the baseline (paired by job ID).
+	FracImproved30 float64
+}
+
+// Compare builds a Comparison from paired per-job metrics.
+func Compare(name, baseline string, subject, base []float64) Comparison {
+	ratios := stats.Ratios(subject, base)
+	improved := 0
+	for _, r := range ratios {
+		if r <= 0.7 {
+			improved++
+		}
+	}
+	frac := 0.0
+	if len(ratios) > 0 {
+		frac = float64(improved) / float64(len(ratios))
+	}
+	mr := 0.0
+	if m := stats.Mean(base); m > 0 {
+		mr = 1 - stats.Mean(subject)/m
+	}
+	return Comparison{
+		Name:           name,
+		Baseline:       baseline,
+		MeanReduction:  mr,
+		FracImproved30: frac,
+	}
+}
+
+// String renders the comparison as one line.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s vs %s: mean reduction %.1f%%, %.0f%% of jobs ≥30%% faster",
+		c.Name, c.Baseline, 100*c.MeanReduction, 100*c.FracImproved30)
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"dollymp/internal/stats"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Title: "Demo", Columns: []string{"name", "value"}}
+	tab.AddRow("short", 1.5)
+	tab.AddRow("a-much-longer-name", 42)
+	s := tab.String()
+	if !strings.Contains(s, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "1.50") {
+		t.Error("float not formatted with two decimals")
+	}
+	if !strings.Contains(s, "42") {
+		t.Error("missing int cell")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines: %d\n%s", len(lines), s)
+	}
+	// Columns aligned: header and rows share the value column offset.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1.50") {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s1 := CDFSeries("a", []float64{1, 2, 3, 4}, 4)
+	s2 := CDFSeries("b", []float64{10, 20, 30, 40}, 4)
+	tab := SeriesTable("cdf", "slots", []Series{s1, s2})
+	out := tab.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing series names")
+	}
+	if !strings.Contains(out, "x = slots") {
+		t.Error("missing x label")
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Empty series list doesn't crash.
+	if got := SeriesTable("e", "x", nil).String(); got == "" {
+		t.Error("empty series table should still render header")
+	}
+	// Ragged series lengths render placeholders.
+	short := Series{Name: "s", Points: []stats.Point{{X: 1, Y: 0.5}}}
+	tab = SeriesTable("r", "x", []Series{s1, short})
+	if !strings.Contains(tab.String(), "-") {
+		t.Error("missing placeholder for short series")
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	s := CDFSeries("x", []float64{5, 1, 3}, 3)
+	if len(s.Points) != 3 {
+		t.Fatalf("points: %v", s.Points)
+	}
+	if s.Points[0].X != 1 || s.Points[2].X != 5 {
+		t.Errorf("quantiles: %v", s.Points)
+	}
+	if s.Points[2].Y != 1 {
+		t.Errorf("last quantile prob: %v", s.Points[2].Y)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []float64{100, 100, 100, 100}
+	subj := []float64{50, 60, 90, 100} // two jobs improved ≥30%
+	c := Compare("dollymp2", "tetris", subj, base)
+	if c.Name != "dollymp2" || c.Baseline != "tetris" {
+		t.Error("names")
+	}
+	if got, want := c.MeanReduction, 1-300.0/400.0; got != want {
+		t.Errorf("mean reduction: %v want %v", got, want)
+	}
+	if c.FracImproved30 != 0.5 {
+		t.Errorf("frac improved: %v", c.FracImproved30)
+	}
+	if !strings.Contains(c.String(), "dollymp2 vs tetris") {
+		t.Error("string format")
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	c := Compare("a", "b", nil, nil)
+	if c.MeanReduction != 0 || c.FracImproved30 != 0 {
+		t.Errorf("empty compare: %+v", c)
+	}
+}

@@ -1,0 +1,34 @@
+package resources
+
+import "testing"
+
+func BenchmarkDot(b *testing.B) {
+	d := Cores(2, 4)
+	free := Cores(6, 12)
+	total := Cores(328, 648)
+	for i := 0; i < b.N; i++ {
+		if d.Dot(free, total) <= 0 {
+			b.Fatal("bad dot")
+		}
+	}
+}
+
+func BenchmarkDominantShare(b *testing.B) {
+	d := Cores(2, 4)
+	total := Cores(328, 648)
+	for i := 0; i < b.N; i++ {
+		if d.DominantShare(total) <= 0 {
+			b.Fatal("bad share")
+		}
+	}
+}
+
+func BenchmarkFits(b *testing.B) {
+	d := Cores(2, 4)
+	free := Cores(6, 12)
+	for i := 0; i < b.N; i++ {
+		if !d.Fits(free) {
+			b.Fatal("should fit")
+		}
+	}
+}

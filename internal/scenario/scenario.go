@@ -1,0 +1,120 @@
+// Package scenario bundles everything that defines one reproducible
+// simulation — the fleet, the workload, the fault-injection schedule,
+// and the engine knobs — into a single versioned JSON document, so an
+// experiment can be shared, re-run and certified bit-for-bit.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/sched"
+	"dollymp/internal/sim"
+	"dollymp/internal/workload"
+)
+
+// FormatVersion is the current scenario file version.
+const FormatVersion = 1
+
+// Scenario is one self-contained simulation definition. The scheduler is
+// not part of the file — the point of a scenario is to run several
+// policies over identical conditions.
+type Scenario struct {
+	Version int             `json:"version"`
+	Name    string          `json:"name,omitempty"`
+	Fleet   []cluster.Spec  `json:"fleet"`
+	Jobs    []*workload.Job `json:"jobs"`
+	Events  []sim.Event     `json:"events,omitempty"`
+	Seed    uint64          `json:"seed"`
+	// TransferPenalty and DelayAssignment configure the intermediate-
+	// data cost model; Deterministic disables duration noise.
+	TransferPenalty int64 `json:"transferPenalty,omitempty"`
+	DelayAssignment bool  `json:"delayAssignment,omitempty"`
+	Deterministic   bool  `json:"deterministic,omitempty"`
+}
+
+// Validate checks the scenario is runnable.
+func (s *Scenario) Validate() error {
+	if s.Version != FormatVersion {
+		return fmt.Errorf("scenario: unsupported version %d (want %d)", s.Version, FormatVersion)
+	}
+	if len(s.Fleet) == 0 {
+		return fmt.Errorf("scenario: no servers")
+	}
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("scenario: no jobs")
+	}
+	for _, j := range s.Jobs {
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	// Building the cluster validates the specs; sim.New validates the
+	// events against it.
+	if _, err := cluster.New(s.Fleet); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// Write serializes the scenario as indented JSON.
+func (s *Scenario) Write(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses and validates a scenario.
+func Read(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Run executes the scenario under the given scheduler. Each call builds
+// a fresh cluster, so a scenario can be run repeatedly and concurrently.
+func (s *Scenario) Run(policy sched.Scheduler) (*sim.Result, error) {
+	fleet, err := cluster.New(s.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(sim.Config{
+		Cluster:         fleet,
+		Jobs:            s.Jobs,
+		Scheduler:       policy,
+		Seed:            s.Seed,
+		Deterministic:   s.Deterministic,
+		TransferPenalty: s.TransferPenalty,
+		DelayAssignment: s.DelayAssignment,
+		Events:          s.Events,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// Specs extracts a cluster's server specs so an in-memory fleet can be
+// embedded in a scenario.
+func Specs(c *cluster.Cluster) []cluster.Spec {
+	out := make([]cluster.Spec, 0, c.Len())
+	for _, srv := range c.Servers() {
+		out = append(out, cluster.Spec{
+			Name:     srv.Name,
+			Capacity: srv.Capacity,
+			Speed:    srv.Speed,
+			Rack:     srv.Rack,
+		})
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/sim"
+	"dollymp/internal/trace"
+)
+
+func demo(t *testing.T) *Scenario {
+	t.Helper()
+	return &Scenario{
+		Version: FormatVersion,
+		Name:    "demo",
+		Fleet:   Specs(cluster.Testbed30()),
+		Jobs:    trace.MixedDeployment(8, trace.Arrival{Kind: trace.FixedInterval, MeanGap: 5}, 3),
+		Events: []sim.Event{
+			{At: 10, Server: 2, Kind: sim.EventSlowdown, Factor: 0.5},
+		},
+		Seed: 7,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := demo(t)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "demo" || len(got.Fleet) != 30 || len(got.Jobs) != 8 || len(got.Events) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Events[0].Factor != 0.5 {
+		t.Fatalf("event factor: %+v", got.Events[0])
+	}
+}
+
+func TestRunIsReproducible(t *testing.T) {
+	s := demo(t)
+	a, err := s.Run(core.MustNew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(core.MustNew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalFlowtime() != b.TotalFlowtime() || a.Makespan != b.Makespan {
+		t.Fatalf("scenario not reproducible: %d/%d vs %d/%d",
+			a.TotalFlowtime(), a.Makespan, b.TotalFlowtime(), b.Makespan)
+	}
+	if len(a.Jobs) != 8 {
+		t.Fatalf("completed %d/8", len(a.Jobs))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"version", func(s *Scenario) { s.Version = 9 }, "version"},
+		{"no fleet", func(s *Scenario) { s.Fleet = nil }, "no servers"},
+		{"no jobs", func(s *Scenario) { s.Jobs = nil }, "no jobs"},
+		{"bad job", func(s *Scenario) { s.Jobs[0].Phases = nil }, "phases"},
+		{"bad fleet", func(s *Scenario) { s.Fleet[0].Speed = 0 }, "speed"},
+	}
+	for _, c := range cases {
+		s := demo(t)
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("empty scenario accepted")
+	}
+}
+
+func TestRunRejectsBadEvents(t *testing.T) {
+	s := demo(t)
+	s.Events = []sim.Event{{At: 0, Server: 999, Kind: sim.EventFail}}
+	if _, err := s.Run(core.MustNew()); err == nil {
+		t.Error("out-of-range event accepted")
+	}
+}

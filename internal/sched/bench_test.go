@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/workload"
+)
+
+// BenchmarkJobCursor measures lazy task enumeration over a deep backlog
+// — the structure that keeps per-decision cost O(active jobs) instead of
+// O(pending tasks).
+func BenchmarkJobCursor(b *testing.B) {
+	j := &workload.Job{ID: 1, Name: "wide", App: "b", Phases: []workload.Phase{{
+		Name: "p", Tasks: 10000, Demand: resources.Cores(1, 1), MeanDuration: 5,
+	}}}
+	js := workload.NewJobState(j)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := NewJobCursor(js)
+		// A scheduler probes the head a handful of times per decision.
+		for k := 0; k < 8; k++ {
+			if _, ok := cur.Peek(); !ok {
+				b.Fatal("cursor empty")
+			}
+			cur.Advance()
+		}
+	}
+}
+
+// BenchmarkFitTrackerBestFit measures best-fit selection over the
+// 30-node testbed.
+func BenchmarkFitTrackerBestFit(b *testing.B) {
+	c := cluster.Testbed30()
+	ft := NewFitTracker(c)
+	d := resources.Cores(2, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ft.BestFit(d); !ok {
+			b.Fatal("no fit")
+		}
+	}
+}
+
+// BenchmarkReadyPendingTasks contrasts the eager enumeration with the
+// cursor above.
+func BenchmarkReadyPendingTasks(b *testing.B) {
+	j := &workload.Job{ID: 1, Name: "wide", App: "b", Phases: []workload.Phase{{
+		Name: "p", Tasks: 10000, Demand: resources.Cores(1, 1), MeanDuration: 5,
+	}}}
+	js := workload.NewJobState(j)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ReadyPendingTasks(js); len(got) != 10000 {
+			b.Fatal("short list")
+		}
+	}
+}

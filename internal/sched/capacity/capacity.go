@@ -1,0 +1,124 @@
+// Package capacity models YARN's Capacity Scheduler (the paper's default
+// baseline): FIFO container allocation in arrival order, plus a LATE-style
+// speculative-execution mechanism that launches a single backup copy for
+// a task observed to run much slower than its phase's completed tasks.
+// The mechanism reproduces the defect §2 attributes to it — backups
+// launch late, only after enough samples accumulate, so they help little
+// for small jobs.
+package capacity
+
+import (
+	"dollymp/internal/cluster"
+	"dollymp/internal/sched"
+	"dollymp/internal/workload"
+)
+
+// Scheduler is the Capacity Scheduler baseline.
+type Scheduler struct {
+	// Speculation enables LATE-style backup copies (YARN's default).
+	Speculation bool
+	// SlowdownThreshold: a running task is a straggler once its elapsed
+	// time exceeds this multiple of the phase's observed mean completed
+	// duration. Default 1.5.
+	SlowdownThreshold float64
+	// MinSamples is the number of completed tasks required in a phase
+	// before speculation may trigger — the sampling requirement that
+	// makes speculation useless for small jobs. Default 3.
+	MinSamples int
+}
+
+// Default returns the scheduler with YARN-like defaults.
+func Default() *Scheduler {
+	return &Scheduler{Speculation: true, SlowdownThreshold: 1.5, MinSamples: 3}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "capacity" }
+
+func (s *Scheduler) params() (float64, int) {
+	th := s.SlowdownThreshold
+	if th <= 0 {
+		th = 1.5
+	}
+	ms := s.MinSamples
+	if ms <= 0 {
+		ms = 3
+	}
+	return th, ms
+}
+
+// Schedule places pending tasks FIFO first-fit, then — best effort, with
+// whatever capacity is left — launches backup copies for detected
+// stragglers.
+func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
+	ft := sched.NewFitTracker(ctx.Cluster())
+	var out []sched.Placement
+	// FIFO pass: ctx.Jobs() is already in arrival order.
+	for _, js := range ctx.Jobs() {
+		cur := sched.NewJobCursor(js)
+		for {
+			pt, ok := cur.Peek()
+			if !ok {
+				break
+			}
+			id, ok := firstFit(ft, ctx, pt)
+			if !ok {
+				break
+			}
+			ft.Place(id, pt.Demand)
+			out = append(out, sched.Placement{Ref: pt.Ref, Server: id})
+			cur.Advance()
+		}
+	}
+	if !s.Speculation {
+		return out
+	}
+	return append(out, s.speculate(ctx, ft)...)
+}
+
+// speculate launches LATE-style backup copies for detected stragglers,
+// best effort with whatever capacity the tracker still shows.
+func (s *Scheduler) speculate(ctx sched.Context, ft *sched.FitTracker) []sched.Placement {
+	var out []sched.Placement
+	threshold, minSamples := s.params()
+	now := ctx.Now()
+	for _, js := range ctx.Jobs() {
+		for _, k := range js.ReadyPhases() {
+			if js.RunningCount(k) == 0 {
+				continue
+			}
+			mean, _, n := ctx.PhaseStats(js.Job.ID, k)
+			if n < minSamples || mean <= 0 {
+				continue // not enough statistically significant samples
+			}
+			demand := js.Job.Phases[k].Demand
+			for _, l := range js.RunningTasks(k) {
+				ref := workload.TaskRef{Job: js.Job.ID, Phase: k, Index: l}
+				copies := ctx.Copies(ref)
+				if len(copies) != 1 {
+					continue // already has a backup
+				}
+				elapsed := float64(now - copies[0].Start)
+				if elapsed <= threshold*mean {
+					continue
+				}
+				id, ok := ft.BestFit(demand)
+				if !ok {
+					continue
+				}
+				ft.Place(id, demand)
+				out = append(out, sched.Placement{Ref: ref, Server: id})
+			}
+		}
+	}
+	return out
+}
+
+func firstFit(ft *sched.FitTracker, ctx sched.Context, pt sched.PendingTask) (cluster.ServerID, bool) {
+	for _, srv := range ctx.Cluster().Servers() {
+		if ft.Fits(srv.ID, pt.Demand) {
+			return srv.ID, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,179 @@
+package capacity
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/schedtest"
+	"dollymp/internal/workload"
+)
+
+func fleet() *cluster.Cluster {
+	return cluster.Uniform(2, resources.Cores(4, 8))
+}
+
+func oneTask(id workload.JobID, arrival int64, d resources.Vector) *workload.Job {
+	return workload.SingleTask(id, arrival, d, 10, 0)
+}
+
+func TestDefaults(t *testing.T) {
+	s := Default()
+	if !s.Speculation || s.SlowdownThreshold != 1.5 || s.MinSamples != 3 {
+		t.Fatalf("defaults: %+v", s)
+	}
+	if s.Name() != "capacity" {
+		t.Errorf("name: %s", s.Name())
+	}
+	// Zero-value thresholds fall back to defaults.
+	z := &Scheduler{Speculation: true}
+	th, ms := z.params()
+	if th != 1.5 || ms != 3 {
+		t.Errorf("zero params: %v %v", th, ms)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+	ctx.MustAddJob(oneTask(2, 0, resources.Cores(1, 1))) // registered first
+	ctx.MustAddJob(oneTask(1, 0, resources.Cores(1, 1)))
+	s := &Scheduler{}
+	ps := s.Schedule(ctx)
+	// Only one fits; it must be the first in arrival order (ctx.Jobs
+	// preserves registration order for equal arrivals).
+	if len(ps) != 1 || ps[0].Ref.Job != 2 {
+		t.Fatalf("placements: %+v", ps)
+	}
+}
+
+func TestPlacesAcrossServers(t *testing.T) {
+	ctx := schedtest.New(fleet())
+	j := &workload.Job{ID: 1, Name: "wide", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: 4, Demand: resources.Cores(4, 8), MeanDuration: 5,
+	}}}
+	ctx.MustAddJob(j)
+	ps := (&Scheduler{}).Schedule(ctx)
+	if len(ps) != 2 {
+		t.Fatalf("want 2 placements (one per server), got %d", len(ps))
+	}
+	if err := ctx.Apply(ps); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing more fits.
+	if ps = (&Scheduler{}).Schedule(ctx); len(ps) != 0 {
+		t.Fatalf("cluster full, got %+v", ps)
+	}
+}
+
+func TestSpeculationNeedsSamples(t *testing.T) {
+	ctx := schedtest.New(fleet())
+	js := ctx.MustAddJob(&workload.Job{ID: 1, Name: "j", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: 2, Demand: resources.Cores(1, 1), MeanDuration: 10,
+	}}})
+	// One copy running since slot 0; no completed samples.
+	ref := workload.TaskRef{Job: 1, Phase: 0, Index: 0}
+	js.MarkRunning(0, 0)
+	ctx.CopyMap[ref] = []sched.CopyStatus{{Server: 0, Start: 0}}
+	ctx.Clock = 100 // way past any threshold
+
+	s := Default()
+	ps := s.Schedule(ctx)
+	// The pending task (index 1) is placed, but NO backup: n < MinSamples.
+	for _, p := range ps {
+		if p.Ref == ref {
+			t.Fatalf("speculated without samples: %+v", ps)
+		}
+	}
+}
+
+func TestSpeculationFiresForStraggler(t *testing.T) {
+	ctx := schedtest.New(fleet())
+	js := ctx.MustAddJob(&workload.Job{ID: 1, Name: "j", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: 5, Demand: resources.Cores(1, 1), MeanDuration: 10,
+	}}})
+	// Four tasks completed (plenty of samples), one straggling copy.
+	for l := 1; l < 5; l++ {
+		if err := js.MarkDone(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := workload.TaskRef{Job: 1, Phase: 0, Index: 0}
+	js.MarkRunning(0, 0)
+	ctx.CopyMap[ref] = []sched.CopyStatus{{Server: 0, Start: 0}}
+	ctx.StatsOverride[schedtest.PhaseKey{Job: 1, Phase: 0}] = schedtest.PhaseStats{Mean: 10, N: 4}
+	ctx.Clock = 16 // elapsed 16 > 1.5 × 10
+
+	ps := Default().Schedule(ctx)
+	if len(ps) != 1 || ps[0].Ref != ref {
+		t.Fatalf("want one backup for %v, got %+v", ref, ps)
+	}
+	// The backup is a clone in the fake's eyes.
+	if got := ctx.CloneCount(ps); got != 1 {
+		t.Fatalf("clone count: %d", got)
+	}
+}
+
+func TestSpeculationRespectsThreshold(t *testing.T) {
+	ctx := schedtest.New(fleet())
+	js := ctx.MustAddJob(&workload.Job{ID: 1, Name: "j", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: 4, Demand: resources.Cores(1, 1), MeanDuration: 10,
+	}}})
+	for l := 1; l < 4; l++ {
+		if err := js.MarkDone(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := workload.TaskRef{Job: 1, Phase: 0, Index: 0}
+	js.MarkRunning(0, 0)
+	ctx.CopyMap[ref] = []sched.CopyStatus{{Server: 0, Start: 0}}
+	ctx.StatsOverride[schedtest.PhaseKey{Job: 1, Phase: 0}] = schedtest.PhaseStats{Mean: 10, N: 3}
+	ctx.Clock = 12 // elapsed 12 < 1.5 × 10: not yet a straggler
+
+	if ps := Default().Schedule(ctx); len(ps) != 0 {
+		t.Fatalf("premature speculation: %+v", ps)
+	}
+}
+
+func TestNoDoubleBackup(t *testing.T) {
+	ctx := schedtest.New(fleet())
+	js := ctx.MustAddJob(&workload.Job{ID: 1, Name: "j", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: 4, Demand: resources.Cores(1, 1), MeanDuration: 10,
+	}}})
+	for l := 1; l < 4; l++ {
+		if err := js.MarkDone(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := workload.TaskRef{Job: 1, Phase: 0, Index: 0}
+	js.MarkRunning(0, 0)
+	// Already has a backup.
+	ctx.CopyMap[ref] = []sched.CopyStatus{{Server: 0, Start: 0}, {Server: 1, Start: 5, Clone: true}}
+	ctx.StatsOverride[schedtest.PhaseKey{Job: 1, Phase: 0}] = schedtest.PhaseStats{Mean: 10, N: 3}
+	ctx.Clock = 100
+
+	if ps := Default().Schedule(ctx); len(ps) != 0 {
+		t.Fatalf("double backup: %+v", ps)
+	}
+}
+
+func TestSpeculationDisabled(t *testing.T) {
+	ctx := schedtest.New(fleet())
+	js := ctx.MustAddJob(&workload.Job{ID: 1, Name: "j", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: 4, Demand: resources.Cores(1, 1), MeanDuration: 10,
+	}}})
+	for l := 1; l < 4; l++ {
+		if err := js.MarkDone(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := workload.TaskRef{Job: 1, Phase: 0, Index: 0}
+	js.MarkRunning(0, 0)
+	ctx.CopyMap[ref] = []sched.CopyStatus{{Server: 0, Start: 0}}
+	ctx.StatsOverride[schedtest.PhaseKey{Job: 1, Phase: 0}] = schedtest.PhaseStats{Mean: 10, N: 3}
+	ctx.Clock = 100
+
+	if ps := (&Scheduler{Speculation: false}).Schedule(ctx); len(ps) != 0 {
+		t.Fatalf("speculation while disabled: %+v", ps)
+	}
+}

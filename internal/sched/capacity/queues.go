@@ -1,0 +1,187 @@
+package capacity
+
+import (
+	"fmt"
+
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/workload"
+)
+
+// Queue is one capacity queue: a named share of the cluster, as in
+// YARN's hierarchical Capacity Scheduler configuration. Jobs are routed
+// to queues by application name; unmatched jobs go to the default queue.
+type Queue struct {
+	// Name labels the queue ("production", "adhoc", ...).
+	Name string
+	// Share is the queue's guaranteed fraction of cluster capacity,
+	// in (0, 1]. Shares should sum to ≤ 1.
+	Share float64
+	// Apps lists the application names routed here; empty means this
+	// is the default queue.
+	Apps []string
+}
+
+// QueuedScheduler is the Capacity Scheduler with multiple queues: each
+// queue schedules FIFO within its guaranteed share, and — like YARN's
+// elastic queues — may borrow idle capacity beyond its share once every
+// queue has had the chance to reach its guarantee.
+type QueuedScheduler struct {
+	// Queues is the configuration; validated on first use.
+	Queues []Queue
+	// Speculation parameters apply across all queues.
+	Speculation       bool
+	SlowdownThreshold float64
+	MinSamples        int
+
+	routes map[string]int // app → queue index
+	defQ   int
+}
+
+// NewQueued builds a multi-queue Capacity Scheduler, validating the
+// configuration: at least one queue, positive shares summing to ≤ 1,
+// at most one default queue (no Apps), unique names and routes.
+func NewQueued(queues []Queue) (*QueuedScheduler, error) {
+	if len(queues) == 0 {
+		return nil, fmt.Errorf("capacity: no queues")
+	}
+	s := &QueuedScheduler{
+		Queues:            queues,
+		Speculation:       true,
+		SlowdownThreshold: 1.5,
+		MinSamples:        3,
+		routes:            make(map[string]int),
+		defQ:              -1,
+	}
+	names := make(map[string]bool)
+	total := 0.0
+	for i, q := range queues {
+		if q.Name == "" {
+			return nil, fmt.Errorf("capacity: queue %d has no name", i)
+		}
+		if names[q.Name] {
+			return nil, fmt.Errorf("capacity: duplicate queue %q", q.Name)
+		}
+		names[q.Name] = true
+		if !(q.Share > 0) || q.Share > 1 {
+			return nil, fmt.Errorf("capacity: queue %q share %v out of (0,1]", q.Name, q.Share)
+		}
+		total += q.Share
+		if len(q.Apps) == 0 {
+			if s.defQ >= 0 {
+				return nil, fmt.Errorf("capacity: queues %q and %q both lack app routes (only one default queue allowed)",
+					queues[s.defQ].Name, q.Name)
+			}
+			s.defQ = i
+		}
+		for _, app := range q.Apps {
+			if _, dup := s.routes[app]; dup {
+				return nil, fmt.Errorf("capacity: app %q routed to two queues", app)
+			}
+			s.routes[app] = i
+		}
+	}
+	if total > 1+1e-9 {
+		return nil, fmt.Errorf("capacity: queue shares sum to %v > 1", total)
+	}
+	if s.defQ < 0 {
+		return nil, fmt.Errorf("capacity: no default queue (one queue must have no app routes)")
+	}
+	return s, nil
+}
+
+// Name implements sched.Scheduler.
+func (s *QueuedScheduler) Name() string { return "capacity-queued" }
+
+func (s *QueuedScheduler) queueOf(js *workload.JobState) int {
+	if q, ok := s.routes[js.Job.App]; ok {
+		return q
+	}
+	return s.defQ
+}
+
+// Schedule runs two rounds: a guaranteed round where each queue places
+// FIFO up to its share of cluster capacity, then an elastic round where
+// remaining capacity is handed out FIFO across all queues. Speculation
+// (shared with the single-queue scheduler) runs last.
+func (s *QueuedScheduler) Schedule(ctx sched.Context) []sched.Placement {
+	jobs := ctx.Jobs()
+	if len(jobs) == 0 {
+		return nil
+	}
+	total := ctx.Cluster().Total()
+	ft := sched.NewFitTracker(ctx.Cluster())
+
+	byQueue := make([][]*workload.JobState, len(s.Queues))
+	for _, js := range jobs {
+		q := s.queueOf(js)
+		byQueue[q] = append(byQueue[q], js)
+	}
+
+	// Queue usage starts from live allocations.
+	used := make([]resources.Vector, len(s.Queues))
+	for _, js := range jobs {
+		used[s.queueOf(js)] = used[s.queueOf(js)].Add(ctx.Allocation(js.Job.ID))
+	}
+
+	cursors := make(map[workload.JobID]*sched.JobCursor, len(jobs))
+	for _, js := range jobs {
+		cursors[js.Job.ID] = sched.NewJobCursor(js)
+	}
+
+	var out []sched.Placement
+	// Guaranteed round.
+	for qi, members := range byQueue {
+		cap := resources.Vec(
+			int64(s.Queues[qi].Share*float64(total.CPUMilli)),
+			int64(s.Queues[qi].Share*float64(total.MemMiB)),
+		)
+		for _, js := range members {
+			cur := cursors[js.Job.ID]
+			for {
+				pt, ok := cur.Peek()
+				if !ok {
+					break
+				}
+				if !used[qi].Add(pt.Demand).Fits(cap) {
+					break // queue at its guarantee
+				}
+				srv, ok := ft.BestFit(pt.Demand)
+				if !ok {
+					break
+				}
+				ft.Place(srv, pt.Demand)
+				used[qi] = used[qi].Add(pt.Demand)
+				out = append(out, sched.Placement{Ref: pt.Ref, Server: srv})
+				cur.Advance()
+			}
+		}
+	}
+	// Elastic round: leftover capacity, FIFO across everything.
+	for _, js := range jobs {
+		cur := cursors[js.Job.ID]
+		for {
+			pt, ok := cur.Peek()
+			if !ok {
+				break
+			}
+			srv, ok := ft.BestFit(pt.Demand)
+			if !ok {
+				break
+			}
+			ft.Place(srv, pt.Demand)
+			out = append(out, sched.Placement{Ref: pt.Ref, Server: srv})
+			cur.Advance()
+		}
+	}
+
+	if s.Speculation {
+		inner := &Scheduler{
+			Speculation:       true,
+			SlowdownThreshold: s.SlowdownThreshold,
+			MinSamples:        s.MinSamples,
+		}
+		out = append(out, inner.speculate(ctx, ft)...)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package capacity
+
+import (
+	"strings"
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched/schedtest"
+	"dollymp/internal/sim"
+	"dollymp/internal/workload"
+)
+
+func twoQueues(t *testing.T) *QueuedScheduler {
+	t.Helper()
+	s, err := NewQueued([]Queue{
+		{Name: "prod", Share: 0.5, Apps: []string{"pagerank"}},
+		{Name: "default", Share: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewQueuedValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		queues []Queue
+		want   string
+	}{
+		{"empty", nil, "no queues"},
+		{"unnamed", []Queue{{Share: 1}}, "no name"},
+		{"dup name", []Queue{{Name: "a", Share: 0.5}, {Name: "a", Share: 0.5, Apps: []string{"x"}}}, "duplicate"},
+		{"bad share", []Queue{{Name: "a", Share: 0}}, "share"},
+		{"over 1", []Queue{{Name: "a", Share: 0.8, Apps: []string{"x"}}, {Name: "b", Share: 0.6}}, "sum"},
+		{"two defaults", []Queue{{Name: "a", Share: 0.4}, {Name: "b", Share: 0.4}}, "default queue"},
+		{"dup route", []Queue{{Name: "a", Share: 0.4, Apps: []string{"x"}}, {Name: "b", Share: 0.4, Apps: []string{"x"}}, {Name: "c", Share: 0.2}}, "two queues"},
+		{"no default", []Queue{{Name: "a", Share: 1, Apps: []string{"x"}}}, "no default"},
+	}
+	for _, c := range cases {
+		if _, err := NewQueued(c.queues); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want contains %q", c.name, err, c.want)
+		}
+	}
+	if s := twoQueues(t); s.Name() != "capacity-queued" {
+		t.Error("name")
+	}
+}
+
+func TestGuaranteedShares(t *testing.T) {
+	// Two wide jobs in different queues, cluster of 8 cores: in the
+	// guaranteed round each queue gets 4 cores; the elastic round is a
+	// no-op because both queues still have demand.
+	ctx := schedtest.New(cluster.Uniform(2, resources.Cores(4, 8)))
+	mk := func(id workload.JobID, app string) {
+		ctx.MustAddJob(&workload.Job{ID: id, Name: "w", App: app, Phases: []workload.Phase{{
+			Name: "p", Tasks: 16, Demand: resources.Cores(1, 2), MeanDuration: 10,
+		}}})
+	}
+	mk(1, "pagerank")  // prod queue
+	mk(2, "wordcount") // default queue
+
+	s := twoQueues(t)
+	s.Speculation = false
+	ps := s.Schedule(ctx)
+	if err := ctx.Apply(ps); err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(schedtest.PlacementsFor(ps, 1))
+	n2 := len(schedtest.PlacementsFor(ps, 2))
+	if n1 != 4 || n2 != 4 {
+		t.Fatalf("guaranteed split: %d/%d, want 4/4", n1, n2)
+	}
+}
+
+func TestElasticBorrowing(t *testing.T) {
+	// Only the default queue has demand: it may borrow the prod queue's
+	// idle capacity and fill the cluster.
+	ctx := schedtest.New(cluster.Uniform(2, resources.Cores(4, 8)))
+	ctx.MustAddJob(&workload.Job{ID: 1, Name: "w", App: "wordcount", Phases: []workload.Phase{{
+		Name: "p", Tasks: 16, Demand: resources.Cores(1, 2), MeanDuration: 10,
+	}}})
+	s := twoQueues(t)
+	s.Speculation = false
+	ps := s.Schedule(ctx)
+	if len(ps) != 8 {
+		t.Fatalf("elastic round should fill the cluster: %d placements", len(ps))
+	}
+}
+
+func TestQueueRouting(t *testing.T) {
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+	js := ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(1, 1), 5, 0))
+	s := twoQueues(t)
+	if got := s.queueOf(js); got != 1 {
+		t.Fatalf("unknown app should route to default: queue %d", got)
+	}
+	js2 := ctx.MustAddJob(&workload.Job{ID: 2, Name: "p", App: "pagerank", Phases: []workload.Phase{{
+		Name: "p", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 5,
+	}}})
+	if got := s.queueOf(js2); got != 0 {
+		t.Fatalf("pagerank should route to prod: queue %d", got)
+	}
+}
+
+func TestQueuedEndToEnd(t *testing.T) {
+	jobs := make([]*workload.Job, 20)
+	for i := range jobs {
+		app := "wordcount"
+		if i%2 == 0 {
+			app = "pagerank"
+		}
+		jobs[i] = &workload.Job{
+			ID: workload.JobID(i), Name: "j", App: app, Arrival: int64(i * 2),
+			Phases: []workload.Phase{{
+				Name: "p", Tasks: 6, Demand: resources.Cores(1, 2),
+				MeanDuration: 8, SDDuration: 6,
+			}},
+		}
+	}
+	s, err := NewQueued([]Queue{
+		{Name: "prod", Share: 0.6, Apps: []string{"pagerank"}},
+		{Name: "default", Share: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{
+		Cluster: cluster.Testbed30(), Jobs: jobs, Scheduler: s, Seed: 3, Paranoid: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 20 {
+		t.Fatalf("completed %d/20", len(res.Jobs))
+	}
+	// Speculation is on by default and the workload is heavy-tailed:
+	// some backups should fire.
+	backups := 0
+	for _, j := range res.Jobs {
+		backups += j.CopiesLaunched - j.TotalTasks
+	}
+	if backups == 0 {
+		t.Error("expected some speculative backups")
+	}
+}

@@ -1,0 +1,125 @@
+// Package carbyne approximates the Carbyne scheduler (Grandl et al.,
+// OSDI '16), the paper's state-of-the-art baseline. Carbyne gives every
+// job its inter-job fair share (DRF) but lets jobs be altruistic: a job
+// claims only the resources it needs to hold its estimated completion
+// time, and the leftover is redistributed to tasks that most improve
+// average completion time and packing.
+//
+// This implementation keeps the two-level structure: pass 1 grants each
+// active job tasks up to its DRF fair share; pass 2 redistributes the
+// leftover to jobs in shortest-remaining-time order with best-fit
+// packing (the JCT/packing redistribution heuristic of the Carbyne
+// paper, simplified).
+package carbyne
+
+import (
+	"sort"
+
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/workload"
+)
+
+// Scheduler is the Carbyne policy.
+type Scheduler struct {
+	// R is the variance factor for remaining-time estimates.
+	R float64
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "carbyne" }
+
+// Schedule runs the fair-share pass followed by the altruistic leftover
+// pass.
+func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
+	jobs := ctx.Jobs()
+	if len(jobs) == 0 {
+		return nil
+	}
+	total := ctx.Cluster().Total()
+	ft := sched.NewFitTracker(ctx.Cluster())
+
+	// Fair share: an equal split of the cluster across active jobs, the
+	// DRF equilibrium for equally weighted jobs.
+	fair := 1.0 / float64(len(jobs))
+
+	alloc := make(map[workload.JobID]resources.Vector, len(jobs))
+	cursors := make(map[workload.JobID]*sched.JobCursor, len(jobs))
+	blocked := make(map[workload.JobID]bool, len(jobs))
+	for _, js := range jobs {
+		alloc[js.Job.ID] = ctx.Allocation(js.Job.ID)
+		cursors[js.Job.ID] = sched.NewJobCursor(js)
+	}
+
+	var out []sched.Placement
+	// Pass 1: fair share, lowest dominant share first.
+	for {
+		var best *workload.JobState
+		bestShare := 0.0
+		for _, js := range jobs {
+			id := js.Job.ID
+			if blocked[id] || cursors[id].Exhausted() {
+				continue
+			}
+			share := alloc[id].DominantShare(total)
+			if share >= fair {
+				continue // at or above fair share: be altruistic
+			}
+			if best == nil || share < bestShare ||
+				(share == bestShare && id < best.Job.ID) {
+				best = js
+				bestShare = share
+			}
+		}
+		if best == nil {
+			break
+		}
+		id := best.Job.ID
+		pt, _ := cursors[id].Peek()
+		srv, ok := ft.BestFit(pt.Demand)
+		if !ok {
+			blocked[id] = true
+			continue
+		}
+		ft.Place(srv, pt.Demand)
+		cursors[id].Advance()
+		alloc[id] = alloc[id].Add(pt.Demand)
+		out = append(out, sched.Placement{Ref: pt.Ref, Server: srv})
+	}
+
+	// Pass 2: leftover redistribution, shortest remaining time first.
+	ranked := make([]*workload.JobState, 0, len(jobs))
+	for _, js := range jobs {
+		if !blocked[js.Job.ID] && !cursors[js.Job.ID].Exhausted() {
+			ranked = append(ranked, js)
+		}
+	}
+	rem := make(map[workload.JobID]float64, len(ranked))
+	for _, js := range ranked {
+		rem[js.Job.ID] = sched.RemainingTime(js, s.R)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := ranked[i].Job.ID, ranked[j].Job.ID
+		if rem[a] != rem[b] {
+			return rem[a] < rem[b]
+		}
+		return a < b
+	})
+	for _, js := range ranked {
+		cur := cursors[js.Job.ID]
+		for {
+			pt, ok := cur.Peek()
+			if !ok {
+				break
+			}
+			srv, ok := ft.BestFit(pt.Demand)
+			if !ok {
+				break
+			}
+			ft.Place(srv, pt.Demand)
+			cur.Advance()
+			out = append(out, sched.Placement{Ref: pt.Ref, Server: srv})
+		}
+	}
+	return out
+}

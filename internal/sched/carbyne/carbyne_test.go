@@ -1,0 +1,91 @@
+package carbyne
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched/schedtest"
+	"dollymp/internal/workload"
+)
+
+func wide(id workload.JobID, tasks int, d resources.Vector, dur float64) *workload.Job {
+	return &workload.Job{ID: id, Name: "w", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: tasks, Demand: d, MeanDuration: dur,
+	}}}
+}
+
+func TestName(t *testing.T) {
+	if (&Scheduler{}).Name() != "carbyne" {
+		t.Fatal("name")
+	}
+}
+
+func TestFairShareThenLeftoverBySRPT(t *testing.T) {
+	// Two jobs; fair share is half the cluster each. Job 1 is short,
+	// job 2 long. Both can fill the cluster. After the fair pass caps
+	// each at half, the leftover pass hands the rest to the SHORTER
+	// job first.
+	fleet := cluster.Uniform(1, resources.Cores(8, 8))
+	ctx := schedtest.New(fleet)
+	ctx.MustAddJob(wide(1, 16, resources.Cores(1, 1), 5))  // short
+	ctx.MustAddJob(wide(2, 16, resources.Cores(1, 1), 50)) // long
+
+	ps := (&Scheduler{}).Schedule(ctx)
+	if err := ctx.Apply(ps); err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(schedtest.PlacementsFor(ps, 1))
+	n2 := len(schedtest.PlacementsFor(ps, 2))
+	if n1+n2 != 8 {
+		t.Fatalf("cluster should be full: %d + %d", n1, n2)
+	}
+	// Fair pass: 4 each (half of 8 cores); leftover exists only if one
+	// job stopped early — here both jobs still have tasks, so the fair
+	// pass fills the cluster at 4/4 and no leftover remains.
+	if n1 != 4 || n2 != 4 {
+		t.Fatalf("fair split: got %d/%d, want 4/4", n1, n2)
+	}
+}
+
+func TestLeftoverGoesToShortJob(t *testing.T) {
+	// Job 2 (long) has only ONE task, so it leaves leftover; the short
+	// job 1 must receive it.
+	fleet := cluster.Uniform(1, resources.Cores(8, 8))
+	ctx := schedtest.New(fleet)
+	ctx.MustAddJob(wide(1, 16, resources.Cores(1, 1), 5))
+	ctx.MustAddJob(wide(2, 1, resources.Cores(1, 1), 50))
+
+	ps := (&Scheduler{}).Schedule(ctx)
+	if err := ctx.Apply(ps); err != nil {
+		t.Fatal(err)
+	}
+	if n1 := len(schedtest.PlacementsFor(ps, 1)); n1 != 7 {
+		t.Fatalf("short job should take the leftover: got %d, want 7", n1)
+	}
+}
+
+func TestAltruismCapsAtFairShare(t *testing.T) {
+	// A job already holding its fair share receives nothing in the fair
+	// pass; with another needy job present the needy one goes first.
+	fleet := cluster.Uniform(1, resources.Cores(8, 8))
+	ctx := schedtest.New(fleet)
+	ctx.MustAddJob(wide(1, 16, resources.Cores(1, 1), 5))
+	ctx.MustAddJob(wide(2, 16, resources.Cores(1, 1), 5))
+	ctx.Allocs[1] = resources.Cores(4, 4) // at fair share already
+
+	ps := (&Scheduler{}).Schedule(ctx)
+	// The first four grants must be job 2's (fair pass).
+	for i := 0; i < 4 && i < len(ps); i++ {
+		if ps[i].Ref.Job != 2 {
+			t.Fatalf("grant %d should go to the under-share job: %+v", i, ps)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+	if ps := (&Scheduler{}).Schedule(ctx); ps != nil {
+		t.Fatalf("empty: %+v", ps)
+	}
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"dollymp/internal/workload"
+)
+
+// JobCursor lazily yields a job's schedulable tasks (pending tasks of
+// ready phases, earliest phase first) without materializing the backlog.
+// It tracks the positions consumed within one Schedule call, so a
+// scheduler can plan a batch of placements before the engine applies
+// them. Cost is O(1) amortized per yielded task; a deeply queued job with
+// thousands of pending tasks costs O(#phases) to probe.
+type JobCursor struct {
+	JS     *workload.JobState
+	phases []workload.PhaseID
+	pi     int
+	next   int // next index to scan from within the current phase
+	// headValid caches the current head between Peek calls.
+	headValid bool
+	head      PendingTask
+}
+
+// NewJobCursor builds a cursor over the job's current ready phases.
+func NewJobCursor(js *workload.JobState) *JobCursor {
+	return &JobCursor{JS: js, phases: js.ReadyPhases()}
+}
+
+// Peek returns the next schedulable task without consuming it.
+func (c *JobCursor) Peek() (PendingTask, bool) {
+	if c.headValid {
+		return c.head, true
+	}
+	for c.pi < len(c.phases) {
+		k := c.phases[c.pi]
+		if l, ok := c.JS.NextPending(k, c.next); ok {
+			c.head = PendingTask{
+				Ref:    workload.TaskRef{Job: c.JS.Job.ID, Phase: k, Index: l},
+				Demand: c.JS.Job.Phases[k].Demand,
+			}
+			c.headValid = true
+			c.next = l // stay here until consumed
+			return c.head, true
+		}
+		c.pi++
+		c.next = 0
+	}
+	return PendingTask{}, false
+}
+
+// Advance consumes the current head (after the caller placed it).
+func (c *JobCursor) Advance() {
+	if !c.headValid {
+		// Nothing peeked; force a peek so Advance always moves forward.
+		if _, ok := c.Peek(); !ok {
+			return
+		}
+	}
+	c.headValid = false
+	c.next = c.head.Ref.Index + 1
+}
+
+// Exhausted reports whether no schedulable task remains.
+func (c *JobCursor) Exhausted() bool {
+	_, ok := c.Peek()
+	return !ok
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dollymp/internal/resources"
+	"dollymp/internal/workload"
+)
+
+func cursorJob() *workload.JobState {
+	j := workload.Chain(1, "mr", "t", 0, []workload.Phase{
+		{Name: "a", Tasks: 3, Demand: resources.Cores(1, 1), MeanDuration: 5},
+		{Name: "b", Tasks: 2, Demand: resources.Cores(2, 2), MeanDuration: 5},
+	})
+	return workload.NewJobState(j)
+}
+
+func TestCursorYieldsAllReadyTasks(t *testing.T) {
+	js := cursorJob()
+	cur := NewJobCursor(js)
+	var got []workload.TaskRef
+	for {
+		pt, ok := cur.Peek()
+		if !ok {
+			break
+		}
+		got = append(got, pt.Ref)
+		cur.Advance()
+	}
+	if len(got) != 3 {
+		t.Fatalf("want 3 ready tasks, got %v", got)
+	}
+	for i, ref := range got {
+		if ref.Phase != 0 || ref.Index != i {
+			t.Fatalf("order: %v", got)
+		}
+	}
+	if !cur.Exhausted() {
+		t.Fatal("cursor should be exhausted")
+	}
+}
+
+func TestCursorMatchesReadyPendingTasks(t *testing.T) {
+	js := cursorJob()
+	js.MarkRunning(0, 1) // hole in the middle
+	want := ReadyPendingTasks(js)
+	cur := NewJobCursor(js)
+	for i := range want {
+		pt, ok := cur.Peek()
+		if !ok {
+			t.Fatalf("cursor ended early at %d", i)
+		}
+		if pt != want[i] {
+			t.Fatalf("mismatch at %d: %+v vs %+v", i, pt, want[i])
+		}
+		cur.Advance()
+	}
+	if !cur.Exhausted() {
+		t.Fatal("cursor has extras")
+	}
+}
+
+func TestCursorPeekIsIdempotent(t *testing.T) {
+	js := cursorJob()
+	cur := NewJobCursor(js)
+	a, _ := cur.Peek()
+	b, _ := cur.Peek()
+	if a != b {
+		t.Fatal("Peek must not consume")
+	}
+}
+
+func TestCursorCrossesPhases(t *testing.T) {
+	js := cursorJob()
+	for l := 0; l < 3; l++ {
+		if err := js.MarkDone(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := NewJobCursor(js)
+	pt, ok := cur.Peek()
+	if !ok || pt.Ref.Phase != 1 || pt.Demand != resources.Cores(2, 2) {
+		t.Fatalf("second phase head: %+v", pt)
+	}
+	cur.Advance()
+	pt, ok = cur.Peek()
+	if !ok || pt.Ref.Index != 1 {
+		t.Fatalf("second task: %+v", pt)
+	}
+	cur.Advance()
+	if !cur.Exhausted() {
+		t.Fatal("should be exhausted")
+	}
+}
+
+func TestCursorAdvanceWithoutPeek(t *testing.T) {
+	js := cursorJob()
+	cur := NewJobCursor(js)
+	cur.Advance() // implicit peek of task 0
+	pt, ok := cur.Peek()
+	if !ok || pt.Ref.Index != 1 {
+		t.Fatalf("after blind advance: %+v", pt)
+	}
+	// Advance on an exhausted cursor must not panic.
+	done := NewJobCursor(func() *workload.JobState {
+		j := workload.SingleTask(2, 0, resources.Cores(1, 1), 1, 0)
+		s := workload.NewJobState(j)
+		if err := s.MarkDone(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}())
+	done.Advance()
+	if !done.Exhausted() {
+		t.Fatal("done job cursor should be exhausted")
+	}
+}
+
+// Property: for any pattern of pre-running tasks, the cursor enumerates
+// exactly the pending set in order.
+func TestCursorEnumerationProperty(t *testing.T) {
+	f := func(mask uint16, tasksRaw uint8) bool {
+		tasks := int(tasksRaw%12) + 1
+		j := &workload.Job{ID: 1, Name: "p", App: "t", Phases: []workload.Phase{{
+			Name: "p", Tasks: tasks, Demand: resources.Cores(1, 1), MeanDuration: 1,
+		}}}
+		js := workload.NewJobState(j)
+		var want []int
+		for l := 0; l < tasks; l++ {
+			if mask&(1<<uint(l%16)) != 0 {
+				js.MarkRunning(0, l)
+			} else {
+				want = append(want, l)
+			}
+		}
+		cur := NewJobCursor(js)
+		for _, w := range want {
+			pt, ok := cur.Peek()
+			if !ok || pt.Ref.Index != w {
+				return false
+			}
+			cur.Advance()
+		}
+		return cur.Exhausted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

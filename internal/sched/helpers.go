@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/workload"
+)
+
+// PendingTask is one schedulable unit: a pending task of a ready phase.
+type PendingTask struct {
+	Ref    workload.TaskRef
+	Demand resources.Vector
+}
+
+// ReadyPendingTasks lists the pending tasks of all ready phases of a job,
+// in phase order. For jobs with multiple ready phases, earlier phases
+// come first (matching Algorithm 2, which schedules "the first available
+// phase" of each job before later ones).
+func ReadyPendingTasks(js *workload.JobState) []PendingTask {
+	var out []PendingTask
+	for _, k := range js.ReadyPhases() {
+		demand := js.Job.Phases[k].Demand
+		for _, l := range js.PendingTasks(k) {
+			out = append(out, PendingTask{
+				Ref:    workload.TaskRef{Job: js.Job.ID, Phase: k, Index: l},
+				Demand: demand,
+			})
+		}
+	}
+	return out
+}
+
+// FirstReadyPendingTask returns the first schedulable task of a job, or
+// false if none exists.
+func FirstReadyPendingTask(js *workload.JobState) (PendingTask, bool) {
+	for _, k := range js.ReadyPhases() {
+		pend := js.PendingTasks(k)
+		if len(pend) > 0 {
+			return PendingTask{
+				Ref:    workload.TaskRef{Job: js.Job.ID, Phase: k, Index: pend[0]},
+				Demand: js.Job.Phases[k].Demand,
+			}, true
+		}
+	}
+	return PendingTask{}, false
+}
+
+// BestFitServer returns the server with free capacity that maximizes the
+// inner product between the demand and the server's remaining capacity
+// (the "resource fit" rule of §5 and Tetris' alignment), or false if the
+// demand fits nowhere. Ties break toward the lower server ID.
+func BestFitServer(c *cluster.Cluster, demand resources.Vector) (cluster.ServerID, bool) {
+	total := c.Total()
+	best := cluster.ServerID(-1)
+	bestScore := -1.0
+	for _, s := range c.Servers() {
+		if !demand.Fits(s.Free()) {
+			continue
+		}
+		score := demand.Dot(s.Free(), total)
+		if score > bestScore {
+			bestScore = score
+			best = s.ID
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// FirstFitServer returns the first server (by ID) whose free capacity
+// fits the demand.
+func FirstFitServer(c *cluster.Cluster, demand resources.Vector) (cluster.ServerID, bool) {
+	for _, s := range c.Servers() {
+		if demand.Fits(s.Free()) {
+			return s.ID, true
+		}
+	}
+	return 0, false
+}
+
+// FitTracker overlays tentative placements on the cluster's free
+// capacities so a scheduler can plan a whole batch without mutating the
+// engine-owned cluster state.
+type FitTracker struct {
+	c    *cluster.Cluster
+	used map[cluster.ServerID]resources.Vector
+}
+
+// NewFitTracker creates a tracker over the cluster's current free state.
+func NewFitTracker(c *cluster.Cluster) *FitTracker {
+	return &FitTracker{c: c, used: make(map[cluster.ServerID]resources.Vector)}
+}
+
+// Free returns the remaining capacity of a server after tentative
+// placements.
+func (f *FitTracker) Free(id cluster.ServerID) resources.Vector {
+	return f.c.Server(id).Free().Sub(f.used[id])
+}
+
+// Fits reports whether demand fits server id now.
+func (f *FitTracker) Fits(id cluster.ServerID, demand resources.Vector) bool {
+	return demand.Fits(f.Free(id))
+}
+
+// Place tentatively consumes demand on server id. It returns false
+// without consuming if the demand does not fit.
+func (f *FitTracker) Place(id cluster.ServerID, demand resources.Vector) bool {
+	if !f.Fits(id, demand) {
+		return false
+	}
+	f.used[id] = f.used[id].Add(demand)
+	return true
+}
+
+// BestFit returns the fitting server maximizing demand·free, or false.
+func (f *FitTracker) BestFit(demand resources.Vector) (cluster.ServerID, bool) {
+	total := f.c.Total()
+	best := cluster.ServerID(-1)
+	bestScore := -1.0
+	for _, s := range f.c.Servers() {
+		free := f.Free(s.ID)
+		if !demand.Fits(free) {
+			continue
+		}
+		score := demand.Dot(free, total)
+		if score > bestScore {
+			bestScore = score
+			best = s.ID
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// WorstFit returns the fitting server with the largest remaining free
+// capacity by dominant share (load balancing), or false.
+func (f *FitTracker) WorstFit(demand resources.Vector) (cluster.ServerID, bool) {
+	total := f.c.Total()
+	best := cluster.ServerID(-1)
+	bestScore := -1.0
+	for _, s := range f.c.Servers() {
+		free := f.Free(s.ID)
+		if !demand.Fits(free) {
+			continue
+		}
+		score := free.DominantShare(total)
+		if score > bestScore {
+			bestScore = score
+			best = s.ID
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// TotalFree returns cluster-wide free capacity after tentative
+// placements.
+func (f *FitTracker) TotalFree() resources.Vector {
+	free := f.c.TotalFree()
+	for _, u := range f.used {
+		free = free.Sub(u)
+	}
+	return free
+}
+
+// RemainingVolume returns the job's unfinished effective volume (Eq. 16),
+// a shared priority input for SVF-style policies.
+func RemainingVolume(js *workload.JobState, total resources.Vector, r float64) float64 {
+	return js.UpdatedVolume(total, r)
+}
+
+// RemainingTime returns the job's unfinished critical-path length
+// (Eq. 17), the SRPT priority input.
+func RemainingTime(js *workload.JobState, r float64) float64 {
+	return js.UpdatedProcessingTime(r)
+}

@@ -1,0 +1,283 @@
+package sched_test
+
+// Cross-scheduler integration tests: every policy — the four baselines,
+// the two pure priority schedulers, and all DollyMP variants — must drive
+// identical workloads to completion on the paper's 30-node testbed under
+// paranoid ledger checking, and must exhibit its defining behaviour.
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/capacity"
+	"dollymp/internal/sched/carbyne"
+	"dollymp/internal/sched/drf"
+	"dollymp/internal/sched/srpt"
+	"dollymp/internal/sched/svf"
+	"dollymp/internal/sched/tetris"
+	"dollymp/internal/sim"
+	"dollymp/internal/stats"
+	"dollymp/internal/trace"
+	"dollymp/internal/workload"
+	"dollymp/internal/yarn"
+)
+
+func allSchedulers() []sched.Scheduler {
+	return []sched.Scheduler{
+		capacity.Default(),
+		&capacity.Scheduler{Speculation: false},
+		&drf.Scheduler{},
+		&tetris.Scheduler{R: 1.5},
+		&tetris.Scheduler{R: 1.5, MaxClones: 1},
+		&carbyne.Scheduler{R: 1.5},
+		&srpt.Scheduler{R: 1.5},
+		&svf.Scheduler{R: 1.5},
+		core.MustNew(core.WithClones(0)),
+		core.MustNew(core.WithClones(1)),
+		core.MustNew(core.WithClones(2)),
+		core.MustNew(core.WithClones(3)),
+		yarn.New(),
+	}
+}
+
+func runWorkload(t *testing.T, s sched.Scheduler, jobs []*workload.Job, seed uint64) *sim.Result {
+	t.Helper()
+	e, err := sim.New(sim.Config{
+		Cluster:   cluster.Testbed30(),
+		Jobs:      jobs,
+		Scheduler: s,
+		Seed:      seed,
+		Paranoid:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllSchedulersCompleteMixedWorkload(t *testing.T) {
+	jobs := trace.MixedDeployment(24, trace.Arrival{Kind: trace.FixedInterval, MeanGap: 10}, 42)
+	for _, s := range allSchedulers() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			res := runWorkload(t, s, jobs, 17)
+			if len(res.Jobs) != len(jobs) {
+				t.Fatalf("%s completed %d/%d jobs", s.Name(), len(res.Jobs), len(jobs))
+			}
+			for _, j := range res.Jobs {
+				if j.Flowtime <= 0 || j.RunningTime <= 0 {
+					t.Fatalf("%s: job %d has bad metrics %+v", s.Name(), j.ID, j)
+				}
+				if j.Flowtime < j.RunningTime {
+					t.Fatalf("%s: flowtime < running time: %+v", s.Name(), j)
+				}
+			}
+			if res.Makespan <= 0 {
+				t.Fatal("bad makespan")
+			}
+		})
+	}
+}
+
+func TestAllSchedulersCompleteGoogleTrace(t *testing.T) {
+	jobs := trace.DefaultGoogleLike(60, 6, 5).Generate()
+	for _, s := range allSchedulers() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			res := runWorkload(t, s, jobs, 23)
+			if len(res.Jobs) != len(jobs) {
+				t.Fatalf("%s completed %d/%d jobs", s.Name(), len(res.Jobs), len(jobs))
+			}
+		})
+	}
+}
+
+func TestNonCloningSchedulersNeverClone(t *testing.T) {
+	jobs := trace.MixedDeployment(10, trace.Arrival{Kind: trace.FixedInterval, MeanGap: 5}, 9)
+	for _, s := range []sched.Scheduler{
+		&capacity.Scheduler{Speculation: false},
+		&drf.Scheduler{},
+		&tetris.Scheduler{},
+		&carbyne.Scheduler{},
+		&srpt.Scheduler{},
+		&svf.Scheduler{},
+		core.MustNew(core.WithClones(0)),
+	} {
+		res := runWorkload(t, s, jobs, 31)
+		for _, j := range res.Jobs {
+			if j.TasksCloned != 0 {
+				t.Errorf("%s cloned tasks: %+v", s.Name(), j)
+			}
+		}
+	}
+}
+
+func TestSRPTPrefersShortJob(t *testing.T) {
+	// Two jobs on a one-slot cluster: SRPT must run the short one first.
+	short := workload.SingleTask(5, 0, resources.Cores(4, 8), 2, 0)
+	long := workload.SingleTask(3, 0, resources.Cores(4, 8), 50, 0)
+	c := cluster.Uniform(1, resources.Cores(4, 8))
+	e, err := sim.New(sim.Config{Cluster: c, Jobs: []*workload.Job{long, short},
+		Scheduler: &srpt.Scheduler{}, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := res.ByJobID()
+	if by[5].Finish != 2 || by[3].Finish != 52 {
+		t.Fatalf("SRPT order wrong: %+v", res.Jobs)
+	}
+}
+
+func TestSVFPrefersSmallVolume(t *testing.T) {
+	// Same duration, different demand: SVF runs the smaller-volume job
+	// first.
+	smallDemand := workload.SingleTask(1, 0, resources.Cores(1, 1), 10, 0)
+	bigDemand := workload.SingleTask(2, 0, resources.Cores(4, 8), 10, 0)
+	c := cluster.Uniform(1, resources.Cores(4, 8))
+	e, err := sim.New(sim.Config{Cluster: c, Jobs: []*workload.Job{bigDemand, smallDemand},
+		Scheduler: &svf.Scheduler{}, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := res.ByJobID()
+	if by[1].FirstStart != 0 {
+		t.Fatalf("SVF should start the small-volume job first: %+v", res.Jobs)
+	}
+}
+
+func TestCapacityIsFIFO(t *testing.T) {
+	// Capacity runs jobs in arrival order even when a later job is tiny.
+	big := workload.SingleTask(1, 0, resources.Cores(4, 8), 30, 0)
+	tiny := workload.SingleTask(2, 1, resources.Cores(4, 8), 1, 0)
+	c := cluster.Uniform(1, resources.Cores(4, 8))
+	e, err := sim.New(sim.Config{Cluster: c, Jobs: []*workload.Job{big, tiny},
+		Scheduler: &capacity.Scheduler{}, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := res.ByJobID()
+	if by[1].Finish != 30 || by[2].FirstStart != 30 {
+		t.Fatalf("capacity should be FIFO: %+v", res.Jobs)
+	}
+}
+
+func TestCapacitySpeculationLaunchesBackups(t *testing.T) {
+	// A wide phase with heavy-tailed durations on an underloaded
+	// cluster: LATE speculation should fire at least once.
+	j := &workload.Job{
+		ID: 1, Name: "wide", App: "t", Arrival: 0,
+		Phases: []workload.Phase{{
+			Name: "map", Tasks: 40, Demand: resources.Cores(1, 2),
+			MeanDuration: 10, SDDuration: 20,
+		}},
+	}
+	res := runWorkload(t, capacity.Default(), []*workload.Job{j}, 3)
+	if res.Jobs[0].CopiesLaunched <= res.Jobs[0].TotalTasks {
+		t.Fatalf("speculation never fired: %+v", res.Jobs[0])
+	}
+}
+
+func TestDRFBalancesDominantShares(t *testing.T) {
+	// Two wide jobs, one CPU-heavy, one memory-heavy. DRF should let
+	// both make progress concurrently (neither waits for the other to
+	// finish entirely).
+	cpuHeavy := &workload.Job{ID: 1, Name: "cpu", App: "t", Arrival: 0,
+		Phases: []workload.Phase{{Name: "p", Tasks: 10, Demand: resources.Cores(4, 2), MeanDuration: 10}}}
+	memHeavy := &workload.Job{ID: 2, Name: "mem", App: "t", Arrival: 0,
+		Phases: []workload.Phase{{Name: "p", Tasks: 10, Demand: resources.Cores(1, 8), MeanDuration: 10}}}
+	c := cluster.Uniform(4, resources.Cores(8, 16))
+	e, err := sim.New(sim.Config{Cluster: c, Jobs: []*workload.Job{cpuHeavy, memHeavy},
+		Scheduler: &drf.Scheduler{}, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := res.ByJobID()
+	if by[1].FirstStart != 0 || by[2].FirstStart != 0 {
+		t.Fatalf("DRF should start both jobs immediately: %+v", res.Jobs)
+	}
+}
+
+func TestTetrisPicksAlignedTask(t *testing.T) {
+	// One server with lopsided free capacity: Tetris should prefer the
+	// task whose demand aligns with it (CPU-heavy task on a CPU-rich
+	// server) when volumes are equal.
+	c := cluster.Uniform(1, resources.Cores(16, 4))
+	cpuTask := &workload.Job{ID: 1, Name: "cpu", App: "t", Arrival: 0,
+		Phases: []workload.Phase{{Name: "p", Tasks: 1, Demand: resources.Cores(8, 1), MeanDuration: 10}}}
+	memTask := &workload.Job{ID: 2, Name: "mem", App: "t", Arrival: 0,
+		Phases: []workload.Phase{{Name: "p", Tasks: 1, Demand: resources.Cores(1, 3), MeanDuration: 10}}}
+	e, err := sim.New(sim.Config{Cluster: c, Jobs: []*workload.Job{memTask, cpuTask},
+		Scheduler: &tetris.Scheduler{Epsilon: 0.001}, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fit simultaneously here; check only that both complete (the
+	// alignment preference is observable in the placement order, which
+	// the engine does not expose; completion sanity suffices).
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs: %d", len(res.Jobs))
+	}
+}
+
+func TestAllSchedulersCompleteDiamondDAGs(t *testing.T) {
+	// Non-chain DAGs: the two gradient shards of an ML iteration are
+	// concurrently ready; every scheduler must honor the join.
+	rng := stats.NewRNG(3)
+	jobs := make([]*workload.Job, 12)
+	for i := range jobs {
+		if i%2 == 0 {
+			jobs[i] = trace.MLIteration(workload.JobID(i), int64(i*5), 2, rng.Split(uint64(i)))
+		} else {
+			jobs[i] = trace.TeraSort(workload.JobID(i), int64(i*5), 5, rng.Split(uint64(i)))
+		}
+	}
+	for _, s := range allSchedulers() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			res := runWorkload(t, s, jobs, 13)
+			if len(res.Jobs) != len(jobs) {
+				t.Fatalf("%s completed %d/%d", s.Name(), len(res.Jobs), len(jobs))
+			}
+		})
+	}
+}
+
+func TestDollyMPBeatsCapacityOnHeavyTail(t *testing.T) {
+	// The headline claim, in miniature: under heavy-tailed stragglers
+	// and a loaded cluster, DollyMP² yields lower total flowtime than
+	// the Capacity scheduler.
+	jobs := trace.MixedDeployment(40, trace.Arrival{Kind: trace.FixedInterval, MeanGap: 4}, 99)
+	cap := runWorkload(t, capacity.Default(), jobs, 55)
+	dolly := runWorkload(t, core.MustNew(), jobs, 55)
+	if dolly.TotalFlowtime() >= cap.TotalFlowtime() {
+		t.Fatalf("DollyMP2 (%d) should beat Capacity (%d)",
+			dolly.TotalFlowtime(), cap.TotalFlowtime())
+	}
+}

@@ -1,0 +1,62 @@
+// Package srpt implements Shortest Remaining Processing Time scheduling:
+// jobs with the smallest remaining critical-path length run first (§4.2).
+// SRPT is optimal for identical machines with homogeneous demands but
+// ignores resource shape, so it fragments multi-resource clusters — the
+// weakness DollyMP's knapsack blend addresses.
+package srpt
+
+import (
+	"sort"
+
+	"dollymp/internal/sched"
+	"dollymp/internal/workload"
+)
+
+// Scheduler is the SRPT policy. The zero value is ready to use.
+type Scheduler struct {
+	// R is the variance factor in e = θ + R·σ. Zero means pure means.
+	R float64
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "srpt" }
+
+// Schedule places tasks of jobs in increasing remaining-time order,
+// best-fit across servers, no cloning.
+func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
+	jobs := append([]*workload.JobState(nil), ctx.Jobs()...)
+	type ranked struct {
+		js  *workload.JobState
+		rem float64
+	}
+	rankedJobs := make([]ranked, 0, len(jobs))
+	for _, js := range jobs {
+		rankedJobs = append(rankedJobs, ranked{js, sched.RemainingTime(js, s.R)})
+	}
+	sort.SliceStable(rankedJobs, func(i, j int) bool {
+		if rankedJobs[i].rem != rankedJobs[j].rem {
+			return rankedJobs[i].rem < rankedJobs[j].rem
+		}
+		return rankedJobs[i].js.Job.ID < rankedJobs[j].js.Job.ID
+	})
+
+	ft := sched.NewFitTracker(ctx.Cluster())
+	var out []sched.Placement
+	for _, r := range rankedJobs {
+		cur := sched.NewJobCursor(r.js)
+		for {
+			pt, ok := cur.Peek()
+			if !ok {
+				break
+			}
+			id, ok := ft.BestFit(pt.Demand)
+			if !ok {
+				break
+			}
+			ft.Place(id, pt.Demand)
+			out = append(out, sched.Placement{Ref: pt.Ref, Server: id})
+			cur.Advance()
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package srpt
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched/schedtest"
+	"dollymp/internal/workload"
+)
+
+func TestName(t *testing.T) {
+	if (&Scheduler{}).Name() != "srpt" {
+		t.Fatal("name")
+	}
+}
+
+func TestShortestFirst(t *testing.T) {
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+	ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(1, 1), 50, 0))
+	ctx.MustAddJob(workload.SingleTask(2, 0, resources.Cores(1, 1), 5, 0))
+	ps := (&Scheduler{}).Schedule(ctx)
+	if len(ps) != 1 || ps[0].Ref.Job != 2 {
+		t.Fatalf("shortest job first: %+v", ps)
+	}
+}
+
+func TestVarianceFactorChangesOrder(t *testing.T) {
+	// Equal means; job 1 has high variance. With R > 0 job 1 ranks
+	// later; with R = 0 the tie breaks by ID and job 1 goes first.
+	mk := func() *schedtest.Context {
+		ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+		ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(1, 1), 10, 20))
+		ctx.MustAddJob(workload.SingleTask(2, 0, resources.Cores(1, 1), 10, 0))
+		return ctx
+	}
+	ps := (&Scheduler{R: 0}).Schedule(mk())
+	if len(ps) != 1 || ps[0].Ref.Job != 1 {
+		t.Fatalf("R=0 tie-break: %+v", ps)
+	}
+	ps = (&Scheduler{R: 1.5}).Schedule(mk())
+	if len(ps) != 1 || ps[0].Ref.Job != 2 {
+		t.Fatalf("R=1.5 should penalize variance: %+v", ps)
+	}
+}
+
+func TestUsesRemainingTimeNotOriginal(t *testing.T) {
+	// Job 1 is long but nearly done; job 2 is short but untouched.
+	// Remaining time of job 1 < job 2 → job 1 first.
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+	j1 := ctx.MustAddJob(workload.Chain(1, "c", "t", 0, []workload.Phase{
+		{Name: "a", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 100},
+		{Name: "b", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 2},
+	}))
+	if err := j1.MarkDone(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx.MustAddJob(workload.SingleTask(2, 0, resources.Cores(1, 1), 5, 0))
+	ps := (&Scheduler{}).Schedule(ctx)
+	if len(ps) != 1 || ps[0].Ref.Job != 1 || ps[0].Ref.Phase != 1 {
+		t.Fatalf("remaining time should rank job 1 first: %+v", ps)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+	if ps := (&Scheduler{}).Schedule(ctx); len(ps) != 0 {
+		t.Fatalf("empty: %+v", ps)
+	}
+}

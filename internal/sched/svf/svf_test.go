@@ -1,0 +1,68 @@
+package svf
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched/schedtest"
+	"dollymp/internal/workload"
+)
+
+func TestName(t *testing.T) {
+	if (&Scheduler{}).Name() != "svf" {
+		t.Fatal("name")
+	}
+}
+
+func TestSmallestVolumeFirst(t *testing.T) {
+	// Same duration, different demand: the low-demand (low-volume) job
+	// wins even with a higher ID.
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(8, 8)))
+	ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(8, 8), 10, 0))
+	ctx.MustAddJob(workload.SingleTask(2, 0, resources.Cores(1, 1), 10, 0))
+	ps := (&Scheduler{}).Schedule(ctx)
+	if len(ps) == 0 || ps[0].Ref.Job != 2 {
+		t.Fatalf("small volume first: %+v", ps)
+	}
+}
+
+func TestVolumeBeatsDuration(t *testing.T) {
+	// SVF differs from SRPT: a long-but-thin job can outrank a
+	// short-but-fat one. volume1 = 20 × (1/8) = 2.5;
+	// volume2 = 5 × (8/8) = 5 → job 1 first despite 4× the duration.
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(8, 8)))
+	ctx.MustAddJob(workload.SingleTask(2, 0, resources.Cores(8, 8), 5, 0))
+	ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(1, 1), 20, 0))
+	ps := (&Scheduler{}).Schedule(ctx)
+	if len(ps) == 0 || ps[0].Ref.Job != 1 {
+		t.Fatalf("volume should beat duration: %+v", ps)
+	}
+}
+
+func TestRemainingVolumeShrinks(t *testing.T) {
+	// A mostly-done wide job outranks a fresh small one if its
+	// remaining volume is lower.
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(8, 8)))
+	j1 := ctx.MustAddJob(&workload.Job{ID: 1, Name: "w", App: "t", Phases: []workload.Phase{{
+		Name: "p", Tasks: 10, Demand: resources.Cores(1, 1), MeanDuration: 10,
+	}}})
+	for l := 0; l < 9; l++ {
+		if err := j1.MarkDone(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// remaining volume j1 = 1 × 10 × 1/8 = 1.25; j2 = 1 × 20 × 1/8 = 2.5.
+	ctx.MustAddJob(workload.SingleTask(2, 0, resources.Cores(1, 1), 20, 0))
+	ps := (&Scheduler{}).Schedule(ctx)
+	if len(ps) == 0 || ps[0].Ref.Job != 1 {
+		t.Fatalf("remaining volume should rank job 1 first: %+v", ps)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	ctx := schedtest.New(cluster.Uniform(1, resources.Cores(1, 1)))
+	if ps := (&Scheduler{}).Schedule(ctx); len(ps) != 0 {
+		t.Fatalf("empty: %+v", ps)
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/workload"
+)
+
+// BenchmarkEngineSingleJobs measures raw engine throughput: placement,
+// completion, and bookkeeping for independent single-task jobs.
+func BenchmarkEngineSingleJobs(b *testing.B) {
+	jobs := make([]*workload.Job, 200)
+	for i := range jobs {
+		jobs[i] = workload.SingleTask(workload.JobID(i), int64(i), resources.Cores(1, 2), 5, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(Config{
+			Cluster: cluster.Testbed30(), Jobs: jobs, Scheduler: greedy{}, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWithClones measures the extra cost of clone bookkeeping
+// (two copies per task, kills, budget accounting).
+func BenchmarkEngineWithClones(b *testing.B) {
+	jobs := make([]*workload.Job, 200)
+	for i := range jobs {
+		jobs[i] = workload.SingleTask(workload.JobID(i), int64(i), resources.Cores(1, 2), 5, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(Config{
+			Cluster: cluster.Testbed30(), Jobs: jobs, Scheduler: cloner{}, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

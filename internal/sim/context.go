@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/workload"
+)
+
+// The Engine itself implements sched.Context; schedulers receive it at
+// every decision point.
+var _ sched.Context = (*Engine)(nil)
+
+// Now returns the current slot.
+func (e *Engine) Now() int64 { return e.clock }
+
+// Cluster returns the fleet (read-only for schedulers).
+func (e *Engine) Cluster() *cluster.Cluster { return e.cfg.Cluster }
+
+// Jobs returns arrived, unfinished jobs ordered by (arrival, ID).
+func (e *Engine) Jobs() []*workload.JobState { return e.active }
+
+// Copies returns the running copies of a task.
+func (e *Engine) Copies(ref workload.TaskRef) []sched.CopyStatus {
+	cs := e.copies[ref]
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]sched.CopyStatus, 0, len(cs))
+	for _, c := range cs {
+		if c.killed {
+			continue
+		}
+		out = append(out, sched.CopyStatus{Server: c.server, Start: c.start, Clone: c.clone})
+	}
+	return out
+}
+
+// CloneUsage returns resources currently held by clone copies.
+func (e *Engine) CloneUsage() resources.Vector { return e.cloneUse }
+
+// Allocation returns the resources currently held by a job's running
+// copies. Maintained incrementally, so DRF-style schedulers stay O(jobs)
+// per decision.
+func (e *Engine) Allocation(id workload.JobID) resources.Vector { return e.alloc[id] }
+
+// speedEstimate is an EWMA over speed samples; the zero value estimates
+// speed 1 with no samples.
+type speedEstimate struct {
+	value float64
+	n     int
+}
+
+// ewmaAlpha weighs new speed observations; small enough to smooth the
+// Pareto noise, large enough to track background-load shifts.
+const ewmaAlpha = 0.2
+
+func (s *speedEstimate) observe(sample float64) {
+	if s.n == 0 {
+		s.value = sample
+	} else {
+		s.value = (1-ewmaAlpha)*s.value + ewmaAlpha*sample
+	}
+	s.n++
+}
+
+// ObservedServerSpeed implements sched.Context.
+func (e *Engine) ObservedServerSpeed(id cluster.ServerID) (float64, int) {
+	est := e.speedEst[id]
+	if est.n == 0 {
+		return 1, 0
+	}
+	return est.value, est.n
+}
+
+// PhaseOutputRack implements sched.Context: the majority rack of the
+// phase's winning copies so far.
+func (e *Engine) PhaseOutputRack(id workload.JobID, k workload.PhaseID) (int, bool) {
+	counts := e.outputRack[phaseKey{id, k}]
+	if len(counts) == 0 {
+		return 0, false
+	}
+	bestRack, bestN := -1, -1
+	for rack, n := range counts {
+		if n > bestN || (n == bestN && rack < bestRack) {
+			bestRack, bestN = rack, n
+		}
+	}
+	return bestRack, true
+}
+
+// PhaseStats returns the observed completed-task duration statistics for
+// a phase. With no observations yet it falls back to the declared model
+// (mean, sd) with n = 0, matching the paper's AM behavior of seeding
+// estimates from prior runs.
+func (e *Engine) PhaseStats(id workload.JobID, k workload.PhaseID) (mean, sd float64, n int) {
+	if obs := e.observed[phaseKey{id, k}]; obs != nil && obs.N() > 0 {
+		return obs.Mean(), obs.SD(), obs.N()
+	}
+	if js, ok := e.states[id]; ok && int(k) >= 0 && int(k) < len(js.Job.Phases) {
+		ph := &js.Job.Phases[k]
+		return ph.MeanDuration, ph.SDDuration, 0
+	}
+	return 0, 0, 0
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+// JobMetrics records the outcome of one job.
+type JobMetrics struct {
+	ID         workload.JobID
+	Name       string
+	App        string
+	Arrival    int64
+	FirstStart int64
+	Finish     int64
+	// Flowtime is f_j − a_j (slots), the paper's primary metric.
+	Flowtime int64
+	// RunningTime is f_j minus the first copy start, the "job execution
+	// time" of §6.2.
+	RunningTime int64
+	// Usage is the job's total resource-time product across all copies,
+	// clones included.
+	Usage resources.Usage
+	// CopiesLaunched counts all copies; TasksCloned counts tasks that
+	// received at least one clone; TotalTasks is the job's task count.
+	CopiesLaunched int
+	TasksCloned    int
+	TotalTasks     int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Scheduler string
+	Jobs      []JobMetrics
+	// Makespan is the slot at which the last job finished.
+	Makespan int64
+	// TotalUsage is the cluster-wide resource-time product.
+	TotalUsage resources.Usage
+	// SchedCalls and SchedWall measure scheduling overhead (§6.3.3).
+	SchedCalls int
+	SchedWall  time.Duration
+	// AvgUtilization is the time-averaged fraction of cluster capacity
+	// in use over [0, makespan], averaged across CPU and memory.
+	AvgUtilization float64
+	// CopiesLostToFailures counts copies killed by injected server
+	// failures.
+	CopiesLostToFailures int
+	// Trace is the event log (only with Config.RecordTrace).
+	Trace []TraceEvent
+	// Timeline samples cluster state at clock advances (only with
+	// Config.RecordTimeline).
+	Timeline []TimelinePoint
+}
+
+// TimelinePoint is one sampled cluster state: the state that held from
+// Slot until the next point's Slot.
+type TimelinePoint struct {
+	Slot          int64
+	ActiveJobs    int
+	RunningCopies int
+	// UtilizationCPU and UtilizationMem are fractions of total
+	// capacity in use.
+	UtilizationCPU float64
+	UtilizationMem float64
+}
+
+// TraceKind labels a trace event.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TracePlace is a copy launch.
+	TracePlace TraceKind = iota
+	// TraceComplete is a task's first copy finishing (the task is done).
+	TraceComplete
+	// TraceKill is a sibling copy killed after the winner finished.
+	TraceKill
+	// TraceLost is a copy killed by a server failure.
+	TraceLost
+)
+
+// TraceEvent is one recorded scheduling event.
+type TraceEvent struct {
+	Slot   int64
+	Kind   TraceKind
+	Ref    workload.TaskRef
+	Server cluster.ServerID
+	Demand resources.Vector
+	// Clone marks copies beyond a task's first.
+	Clone bool
+}
+
+func (e *Engine) recordJob(js *workload.JobState) {
+	e.res.Jobs = append(e.res.Jobs, JobMetrics{
+		ID:             js.Job.ID,
+		Name:           js.Job.Name,
+		App:            js.Job.App,
+		Arrival:        js.Job.Arrival,
+		FirstStart:     js.FirstStart,
+		Finish:         js.Finish,
+		Flowtime:       js.Flowtime(),
+		RunningTime:    js.RunningTime(),
+		Usage:          js.Usage,
+		CopiesLaunched: js.CopiesLaunched,
+		TasksCloned:    js.TasksCloned,
+		TotalTasks:     js.Job.TotalTasks(),
+	})
+	if js.Finish > e.res.Makespan {
+		e.res.Makespan = js.Finish
+	}
+}
+
+func (e *Engine) finalizeResult() {
+	if e.res.Makespan > 0 {
+		total := e.cfg.Cluster.Total()
+		cpuFrac := e.utilCPU / (float64(total.CPUMilli) * float64(e.res.Makespan))
+		memFrac := e.utilMem / (float64(total.MemMiB) * float64(e.res.Makespan))
+		e.res.AvgUtilization = (cpuFrac + memFrac) / 2
+	}
+}
+
+// Flowtimes returns every job's flowtime as float64s, in completion
+// order.
+func (r *Result) Flowtimes() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = float64(j.Flowtime)
+	}
+	return out
+}
+
+// RunningTimes returns every job's running time.
+func (r *Result) RunningTimes() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = float64(j.RunningTime)
+	}
+	return out
+}
+
+// TotalFlowtime returns Σ (f_j − a_j), the objective of (OPT).
+func (r *Result) TotalFlowtime() int64 {
+	var sum int64
+	for _, j := range r.Jobs {
+		sum += j.Flowtime
+	}
+	return sum
+}
+
+// MeanFlowtime returns the average job flowtime.
+func (r *Result) MeanFlowtime() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	return float64(r.TotalFlowtime()) / float64(len(r.Jobs))
+}
+
+// ByJobID returns per-job metrics keyed by job ID, for cross-scheduler
+// ratio comparisons (Figs. 8, 11).
+func (r *Result) ByJobID() map[workload.JobID]JobMetrics {
+	m := make(map[workload.JobID]JobMetrics, len(r.Jobs))
+	for _, j := range r.Jobs {
+		m[j.ID] = j
+	}
+	return m
+}
+
+// ClonedTaskFraction returns the fraction of all tasks that received at
+// least one clone (Fig. 10b).
+func (r *Result) ClonedTaskFraction() float64 {
+	tasks, cloned := 0, 0
+	for _, j := range r.Jobs {
+		tasks += j.TotalTasks
+		cloned += j.TasksCloned
+	}
+	if tasks == 0 {
+		return 0
+	}
+	return float64(cloned) / float64(tasks)
+}
+
+// FlowtimeECDF returns the empirical flowtime distribution.
+func (r *Result) FlowtimeECDF() *stats.ECDF { return stats.NewECDF(r.Flowtimes()) }
+
+// RunningTimeECDF returns the empirical running-time distribution.
+func (r *Result) RunningTimeECDF() *stats.ECDF { return stats.NewECDF(r.RunningTimes()) }
+
+// CumulativeFlowtime returns, for jobs sorted by arrival, the running sum
+// of flowtime — the series of Fig. 7.
+func (r *Result) CumulativeFlowtime() []stats.Point {
+	jobs := make([]JobMetrics, len(r.Jobs))
+	copy(jobs, r.Jobs)
+	// Jobs complete out of arrival order; Fig. 7 accumulates by arrival.
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Arrival < jobs[j].Arrival })
+	pts := make([]stats.Point, len(jobs))
+	var sum int64
+	for i, j := range jobs {
+		sum += j.Flowtime
+		pts[i] = stats.Point{X: float64(j.Arrival), Y: float64(sum)}
+	}
+	return pts
+}

@@ -1,0 +1,59 @@
+package stats
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkParetoSample(b *testing.B) {
+	p, _ := FitPareto(20, 12)
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = p.Sample(r)
+	}
+}
+
+func BenchmarkFitPareto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPareto(20, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECDFBuild(b *testing.B) {
+	r := NewRNG(1)
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewECDF(samples)
+	}
+}
+
+func BenchmarkECDFQuantile(b *testing.B) {
+	r := NewRNG(1)
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = r.Float64()
+	}
+	e := NewECDF(samples)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Quantile(0.95)
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i & 1023))
+	}
+}

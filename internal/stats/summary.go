@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds streaming first- and second-moment statistics (Welford).
+// The zero Summary is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the sample variance (denominator n−1; 0 if n < 2).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// SD returns the sample standard deviation.
+func (s *Summary) SD() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns n × mean.
+func (s *Summary) Sum() float64 { return float64(s.n) * s.mean }
+
+// String formats the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.SD(), s.min, s.max)
+}
+
+// ECDF is an empirical cumulative distribution over a set of samples.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the samples (the input slice is not
+// retained or modified).
+func NewECDF(samples []float64) *ECDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the number of samples.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns F(x) = fraction of samples ≤ x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// Advance past equal values so At is right-continuous.
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile (nearest-rank). q in [0, 1].
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// Points samples the ECDF at n evenly spaced probabilities for plotting:
+// the series the paper's CDF figures report.
+func (e *ECDF) Points(n int) []Point {
+	pts := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		q := float64(i) / float64(n)
+		pts = append(pts, Point{X: e.Quantile(q), Y: q})
+	}
+	return pts
+}
+
+// Mean returns the sample mean.
+func (e *ECDF) Mean() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range e.sorted {
+		sum += v
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// Point is one (x, y) sample of a plotted series.
+type Point struct{ X, Y float64 }
+
+// Ratios computes element-wise a[i]/b[i]; the ratio-CDF inputs of
+// Figs. 8 and 11. Panics if lengths differ; entries with b[i] == 0 are
+// skipped.
+func Ratios(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("stats: Ratios length mismatch")
+	}
+	out := make([]float64, 0, len(a))
+	for i := range a {
+		if b[i] == 0 {
+			continue
+		}
+		out = append(out, a[i]/b[i])
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of samples strictly below x.
+func FractionBelow(samples []float64, x float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range samples {
+		if v < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// Sum adds the samples.
+func Sum(samples []float64) float64 {
+	s := 0.0
+	for _, v := range samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the average of the samples (0 for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	return Sum(samples) / float64(len(samples))
+}

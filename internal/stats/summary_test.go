@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 {
+		t.Fatal("zero Summary should be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N: %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean: %v", s.Mean())
+	}
+	// Sample variance with n−1 denominator: Σ(x−5)² = 32, /7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var: %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max: %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Sum()-40) > 1e-9 {
+		t.Errorf("sum: %v", s.Sum())
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// Property: Welford mean matches direct mean.
+func TestSummaryMatchesDirect(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		sum := 0.0
+		for _, v := range raw {
+			s.Add(float64(v))
+			sum += float64(v)
+		}
+		direct := sum / float64(len(raw))
+		return math.Abs(s.Mean()-direct) < 1e-6*(1+math.Abs(direct))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5})
+	if e.N() != 5 {
+		t.Fatal("N")
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2.5, 0.4}, {5, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v): got %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 3 {
+		t.Errorf("median: %v", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("q0: %v", q)
+	}
+	if q := e.Quantile(1); q != 5 {
+		t.Errorf("q1: %v", q)
+	}
+	if m := e.Mean(); math.Abs(m-3) > 1e-12 {
+		t.Errorf("mean: %v", m)
+	}
+	pts := e.Points(5)
+	if len(pts) != 5 || pts[4].Y != 1 || pts[4].X != 5 {
+		t.Errorf("points: %+v", pts)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(1) != 0 {
+		t.Error("empty At")
+	}
+	if !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("empty Quantile should be NaN")
+	}
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewECDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+// Property: ECDF.At is monotone non-decreasing.
+func TestECDFMonotone(t *testing.T) {
+	f := func(raw []uint8, a, b uint8) bool {
+		s := make([]float64, len(raw))
+		for i, v := range raw {
+			s[i] = float64(v)
+		}
+		e := NewECDF(s)
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return e.At(x) <= e.At(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	got := Ratios([]float64{2, 6, 4}, []float64{1, 2, 0})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("ratios: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Ratios([]float64{1}, []float64{1, 2})
+}
+
+func TestFractionBelowAndMean(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if got := FractionBelow(s, 3); got != 0.5 {
+		t.Errorf("FractionBelow: %v", got)
+	}
+	if got := FractionBelow(nil, 3); got != 0 {
+		t.Errorf("empty FractionBelow: %v", got)
+	}
+	if got := Mean(s); got != 2.5 {
+		t.Errorf("Mean: %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("empty Mean: %v", got)
+	}
+	if got := Sum(s); got != 10 {
+		t.Errorf("Sum: %v", got)
+	}
+}

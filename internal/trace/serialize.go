@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dollymp/internal/workload"
+)
+
+// File is the on-disk trace format: a versioned JSON envelope so replays
+// are stable across releases.
+type File struct {
+	Version int             `json:"version"`
+	Jobs    []*workload.Job `json:"jobs"`
+}
+
+// FormatVersion is the current trace file version.
+const FormatVersion = 1
+
+// Write serializes jobs as indented JSON.
+func Write(w io.Writer, jobs []*workload.Job) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(File{Version: FormatVersion, Jobs: jobs})
+}
+
+// Read parses a trace file and validates every job.
+func Read(r io.Reader) ([]*workload.Job, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	for _, j := range f.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: invalid job: %w", err)
+		}
+	}
+	return f.Jobs, nil
+}

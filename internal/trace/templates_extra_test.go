@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"testing"
+
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+func TestTeraSortShape(t *testing.T) {
+	j := TeraSort(1, 50, 10, stats.NewRNG(1))
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Phases) != 3 {
+		t.Fatalf("phases: %d", len(j.Phases))
+	}
+	if j.Phases[0].Name != "sample" || j.Phases[1].Name != "partition" || j.Phases[2].Name != "sort" {
+		t.Fatal("phase names")
+	}
+	// Sample is much narrower than partition.
+	if j.Phases[0].Tasks >= j.Phases[1].Tasks {
+		t.Fatalf("sample %d should be narrower than partition %d",
+			j.Phases[0].Tasks, j.Phases[1].Tasks)
+	}
+	// Sort is memory-heavy relative to partition.
+	if j.Phases[2].Demand.MemMiB <= j.Phases[1].Demand.MemMiB {
+		t.Fatal("sort should need more memory")
+	}
+	// Tiny input still validates.
+	if err := TeraSort(2, 0, 0.01, stats.NewRNG(2)).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLIterationDiamond(t *testing.T) {
+	j := MLIteration(1, 0, 2, stats.NewRNG(3))
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Phases) != 4 {
+		t.Fatalf("phases: %d", len(j.Phases))
+	}
+	// Diamond: both gradient shards depend on load; aggregate on both.
+	if len(j.Phases[1].Parents) != 1 || j.Phases[1].Parents[0] != 0 {
+		t.Fatal("grad-a parents")
+	}
+	if len(j.Phases[2].Parents) != 1 || j.Phases[2].Parents[0] != 0 {
+		t.Fatal("grad-b parents")
+	}
+	if len(j.Phases[3].Parents) != 2 {
+		t.Fatal("aggregate parents")
+	}
+	// The two gradient phases must be concurrently ready after load.
+	js := workload.NewJobState(j)
+	for l := 0; l < j.Phases[0].Tasks; l++ {
+		if err := js.MarkDone(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ready := js.ReadyPhases()
+	if len(ready) != 2 || ready[0] != 1 || ready[1] != 2 {
+		t.Fatalf("ready after load: %v", ready)
+	}
+	// Critical path: load + grad + aggregate (not both grads).
+	want := j.Phases[0].MeanDuration + j.Phases[1].MeanDuration + j.Phases[3].MeanDuration
+	alt := j.Phases[0].MeanDuration + j.Phases[2].MeanDuration + j.Phases[3].MeanDuration
+	if alt > want {
+		want = alt
+	}
+	if got := j.CriticalPathLength(0); got != want {
+		t.Fatalf("critical path: %v, want %v", got, want)
+	}
+}

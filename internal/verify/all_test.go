@@ -1,0 +1,57 @@
+package verify
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/capacity"
+	"dollymp/internal/sched/carbyne"
+	"dollymp/internal/sched/drf"
+	"dollymp/internal/sched/srpt"
+	"dollymp/internal/sched/svf"
+	"dollymp/internal/sched/tetris"
+	"dollymp/internal/sim"
+	"dollymp/internal/trace"
+	"dollymp/internal/yarn"
+)
+
+// TestCertifyEverySchedulersTrace certifies one mixed-workload run of
+// every scheduling policy against the §3.1 model constraints.
+func TestCertifyEverySchedulersTrace(t *testing.T) {
+	jobs := trace.MixedDeployment(14, trace.Arrival{Kind: trace.FixedInterval, MeanGap: 6}, 21)
+	scheds := []sched.Scheduler{
+		capacity.Default(),
+		&drf.Scheduler{},
+		&tetris.Scheduler{R: 1.5},
+		&tetris.Scheduler{R: 1.5, MaxClones: 1},
+		&carbyne.Scheduler{R: 1.5},
+		&srpt.Scheduler{R: 1.5},
+		&svf.Scheduler{R: 1.5},
+		core.MustNew(core.WithClones(0)),
+		core.MustNew(core.WithClones(2)),
+		core.MustNew(core.WithClones(3)),
+		core.MustNew(core.WithStragglerAvoidance(true)),
+		yarn.New(),
+	}
+	for _, s := range scheds {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			e, err := sim.New(sim.Config{
+				Cluster: cluster.Testbed30(), Jobs: jobs, Scheduler: s, Seed: 31,
+				RecordTrace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(res.Trace, cluster.Testbed30(), jobs); err != nil {
+				t.Fatalf("certification failed: %v", err)
+			}
+		})
+	}
+}

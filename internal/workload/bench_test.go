@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"dollymp/internal/resources"
+)
+
+func benchJob() *JobState {
+	phases := make([]Phase, 6)
+	for k := range phases {
+		phases[k] = Phase{
+			Name: "p", Tasks: 50, Demand: resources.Cores(1, 2),
+			MeanDuration: 10, SDDuration: 5,
+		}
+	}
+	j := Chain(1, "b", "bench", 0, phases)
+	return NewJobState(j)
+}
+
+// BenchmarkUpdatedVolume measures Eq. (16), recomputed per job on every
+// arrival under DollyMP.
+func BenchmarkUpdatedVolume(b *testing.B) {
+	js := benchJob()
+	total := resources.Cores(328, 648)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := js.UpdatedVolume(total, 1.5); v <= 0 {
+			b.Fatal("zero volume")
+		}
+	}
+}
+
+// BenchmarkUpdatedProcessingTime measures Eq. (17), the remaining
+// critical path.
+func BenchmarkUpdatedProcessingTime(b *testing.B) {
+	js := benchJob()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e := js.UpdatedProcessingTime(1.5); e <= 0 {
+			b.Fatal("zero time")
+		}
+	}
+}
+
+// BenchmarkMarkTransitions measures task state bookkeeping.
+func BenchmarkMarkTransitions(b *testing.B) {
+	js := benchJob()
+	for i := 0; i < b.N; i++ {
+		l := i % 50
+		js.MarkRunning(0, l)
+		js.MarkPending(0, l)
+	}
+}

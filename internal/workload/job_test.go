@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dollymp/internal/resources"
+)
+
+func mapReduce(id JobID, arrival int64) *Job {
+	return Chain(id, "wc", "wordcount", arrival, []Phase{
+		{Name: "map", Tasks: 4, Demand: resources.Cores(1, 2), MeanDuration: 10, SDDuration: 2},
+		{Name: "reduce", Tasks: 2, Demand: resources.Cores(2, 4), MeanDuration: 6, SDDuration: 1},
+	})
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := mapReduce(1, 0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SingleTask(2, 5, resources.Cores(1, 1), 3, 0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Job { return mapReduce(1, 0) }
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+	}{
+		{"no phases", func(j *Job) { j.Phases = nil }},
+		{"zero tasks", func(j *Job) { j.Phases[0].Tasks = 0 }},
+		{"zero duration", func(j *Job) { j.Phases[0].MeanDuration = 0 }},
+		{"negative sd", func(j *Job) { j.Phases[0].SDDuration = -1 }},
+		{"zero demand", func(j *Job) { j.Phases[0].Demand = resources.Vec(0, 0) }},
+		{"negative demand", func(j *Job) { j.Phases[0].Demand = resources.Vec(-1, 5) }},
+		{"bad parent", func(j *Job) { j.Phases[1].Parents = []PhaseID{7} }},
+		{"self parent", func(j *Job) { j.Phases[1].Parents = []PhaseID{1} }},
+		{"cycle", func(j *Job) { j.Phases[0].Parents = []PhaseID{1} }},
+	}
+	for _, c := range cases {
+		j := base()
+		c.mutate(j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	// Diamond: 0 → {1, 2} → 3.
+	j := &Job{ID: 1, Phases: []Phase{
+		{Name: "a", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 1},
+		{Name: "b", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 1, Parents: []PhaseID{0}},
+		{Name: "c", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 1, Parents: []PhaseID{0}},
+		{Name: "d", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 1, Parents: []PhaseID{1, 2}},
+	}}
+	order, err := j.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[PhaseID]int)
+	for i, k := range order {
+		pos[k] = i
+	}
+	for k, p := range j.Phases {
+		for _, par := range p.Parents {
+			if pos[par] >= pos[PhaseID(k)] {
+				t.Fatalf("parent %d after child %d in %v", par, k, order)
+			}
+		}
+	}
+}
+
+func TestEffectiveDuration(t *testing.T) {
+	p := Phase{MeanDuration: 10, SDDuration: 4}
+	if got := p.EffectiveDuration(1.5); got != 16 {
+		t.Errorf("e: %v", got)
+	}
+	if got := p.EffectiveDuration(0); got != 10 {
+		t.Errorf("e(r=0): %v", got)
+	}
+}
+
+func TestEffectiveVolume(t *testing.T) {
+	total := resources.Cores(100, 200)
+	j := mapReduce(1, 0)
+	// map: 4 tasks × e=13 × d = max(1/100, 2/200)=0.01 → 0.52
+	// reduce: 2 × e=7.5 × d = max(2/100, 4/200)=0.02 → 0.30
+	want := 4*13*0.01 + 2*7.5*0.02
+	if got := j.EffectiveVolume(total, 1.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("volume: got %v, want %v", got, want)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	j := mapReduce(1, 0)
+	// chain: 13 + 7.5
+	if got := j.CriticalPathLength(1.5); math.Abs(got-20.5) > 1e-12 {
+		t.Errorf("cp: %v", got)
+	}
+	// Diamond where one branch is longer.
+	d := &Job{ID: 2, Phases: []Phase{
+		{Name: "a", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 5},
+		{Name: "b", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 20, Parents: []PhaseID{0}},
+		{Name: "c", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 3, Parents: []PhaseID{0}},
+		{Name: "d", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 2, Parents: []PhaseID{1, 2}},
+	}}
+	if got := d.CriticalPathLength(0); got != 27 {
+		t.Errorf("diamond cp: %v", got)
+	}
+}
+
+func TestChainWiring(t *testing.T) {
+	j := mapReduce(3, 7)
+	if len(j.Phases[0].Parents) != 0 {
+		t.Error("first phase should have no parents")
+	}
+	if len(j.Phases[1].Parents) != 1 || j.Phases[1].Parents[0] != 0 {
+		t.Error("second phase should depend on first")
+	}
+	if j.Arrival != 7 || j.TotalTasks() != 6 {
+		t.Errorf("arrival/tasks: %d/%d", j.Arrival, j.TotalTasks())
+	}
+}
+
+func TestTaskRefString(t *testing.T) {
+	r := TaskRef{Job: 3, Phase: 1, Index: 2}
+	if r.String() != "j3/p1/t2" {
+		t.Errorf("got %q", r.String())
+	}
+}
+
+// Property: volume is monotone in r (more variance penalty, more volume).
+func TestVolumeMonotoneInR(t *testing.T) {
+	total := resources.Cores(100, 100)
+	f := func(sd uint8, r1, r2 uint8) bool {
+		j := SingleTask(1, 0, resources.Cores(1, 1), 10, float64(sd))
+		a, b := float64(r1)/10, float64(r2)/10
+		if a > b {
+			a, b = b, a
+		}
+		return j.EffectiveVolume(total, a) <= j.EffectiveVolume(total, b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: critical path ≤ sum of all effective durations, and ≥ max
+// single phase duration.
+func TestCriticalPathBounds(t *testing.T) {
+	f := func(d1, d2, d3 uint8) bool {
+		m1, m2, m3 := float64(d1)+1, float64(d2)+1, float64(d3)+1
+		j := Chain(1, "x", "x", 0, []Phase{
+			{Name: "a", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: m1},
+			{Name: "b", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: m2},
+			{Name: "c", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: m3},
+		})
+		cp := j.CriticalPathLength(0)
+		sum := m1 + m2 + m3
+		return math.Abs(cp-sum) < 1e-9 // a chain's critical path is the total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package yarn
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/schedtest"
+	"dollymp/internal/workload"
+)
+
+func TestPriorityOrderAcrossQueues(t *testing.T) {
+	// A small fast job and a big slow job on a one-task-at-a-time
+	// cluster: the RM's knapsack priorities must schedule the small one
+	// first regardless of registration order.
+	fleet := cluster.Uniform(1, resources.Cores(4, 8))
+	ctx := schedtest.New(fleet)
+	ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(4, 8), 60, 0)) // big
+	ctx.MustAddJob(workload.SingleTask(2, 0, resources.Cores(1, 1), 2, 0))  // small
+
+	ps := New().Schedule(ctx)
+	if len(ps) == 0 || ps[0].Ref.Job != 2 {
+		t.Fatalf("small job should lead: %+v", ps)
+	}
+}
+
+func TestCloneBudgetRespected(t *testing.T) {
+	fleet := cluster.Uniform(4, resources.Cores(8, 16))
+	ctx := schedtest.New(fleet)
+	ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(1, 1), 10, 8))
+	s := New()
+	s.Delta = 1e-9 // effectively zero budget
+
+	// Place the original.
+	ps := s.Schedule(ctx)
+	if len(ps) != 1 {
+		t.Fatalf("first round: %+v", ps)
+	}
+	if err := ctx.Apply(ps); err != nil {
+		t.Fatal(err)
+	}
+	// No clones may follow.
+	if more := s.Schedule(ctx); len(more) != 0 {
+		t.Fatalf("δ≈0 must forbid clones: %+v", more)
+	}
+}
+
+func TestMaxClonesZero(t *testing.T) {
+	fleet := cluster.Uniform(4, resources.Cores(8, 16))
+	ctx := schedtest.New(fleet)
+	ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(1, 1), 10, 8))
+	s := New()
+	s.MaxClones = 0
+	ps := s.Schedule(ctx)
+	if err := ctx.Apply(ps); err != nil {
+		t.Fatal(err)
+	}
+	if more := s.Schedule(ctx); len(more) != 0 {
+		t.Fatalf("MaxClones=0 must not clone: %+v", more)
+	}
+}
+
+func TestRackIndexAndCount(t *testing.T) {
+	fleet := twoRackFleet(t, 3)
+	idx := rackIndex(fleet)
+	if len(idx) != 2 || len(idx[0]) != 3 || len(idx[1]) != 3 {
+		t.Fatalf("rack index: %v", idx)
+	}
+	if got := rackCount(idx); got != 2 {
+		t.Fatalf("rack count: %d", got)
+	}
+}
+
+func TestBestFitWithinRespectsTracker(t *testing.T) {
+	fleet := twoRackFleet(t, 2)
+	ft := sched.NewFitTracker(fleet)
+	servers := rackIndex(fleet)[0]
+	d := resources.Cores(4, 8) // one full server
+	s1, ok := bestFitWithin(ft, fleet, servers, d)
+	if !ok {
+		t.Fatal("first fit failed")
+	}
+	ft.Place(s1, d)
+	s2, ok := bestFitWithin(ft, fleet, servers, d)
+	if !ok || s2 == s1 {
+		t.Fatalf("second fit: %v %v", s2, ok)
+	}
+	ft.Place(s2, d)
+	if _, ok := bestFitWithin(ft, fleet, servers, d); ok {
+		t.Fatal("rack is full; fit should fail")
+	}
+}
+
+func TestSingleRackHasNoRootPreference(t *testing.T) {
+	fleet := cluster.Uniform(3, resources.Cores(4, 8))
+	ctx := schedtest.New(fleet)
+	ctx.MustAddJob(workload.SingleTask(1, 0, resources.Cores(1, 1), 5, 0))
+	ps := New().Schedule(ctx)
+	if len(ps) != 1 {
+		t.Fatalf("placements: %+v", ps)
+	}
+	// With one rack the AM falls back to global best fit; any server is
+	// acceptable, the point is it does not error or loop.
+}
