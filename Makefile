@@ -1,8 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short race bench figures figures-paper cover clean
+.PHONY: all build test test-short race bench check sweep figures figures-paper cover clean
 
 all: build test
+
+# check is what CI runs: static analysis, a full build, and the race
+# detector over every test (which certifies the sweep worker pool).
+check:
+	go vet ./...
+	go build ./...
+	go test -race ./...
+
+# Run the multi-seed benchmark sweep and write BENCH_sweep.json.
+sweep:
+	go run ./cmd/dollymp-bench -sweep
 
 build:
 	go build ./...

@@ -1,6 +1,8 @@
 // Command dollymp-bench regenerates every table and figure of the
 // paper's evaluation and writes them as text tables — the series behind
-// EXPERIMENTS.md — or as JSON for downstream plotting.
+// EXPERIMENTS.md — or as JSON for downstream plotting. It also hosts the
+// parallel multi-seed sweep harness that produces BENCH_sweep.json, the
+// machine-readable perf/quality baseline later PRs measure against.
 //
 // Usage:
 //
@@ -8,6 +10,11 @@
 //	dollymp-bench -scale paper    # evaluation-scale job counts
 //	dollymp-bench -fig 8          # one figure only
 //	dollymp-bench -format json    # machine-readable results
+//
+//	dollymp-bench -sweep          # 3 schedulers × 8 seeds → BENCH_sweep.json
+//	dollymp-bench -sweep -sweep-schedulers capacity,tetris,drf,dollymp2 \
+//	    -sweep-seeds 16 -sweep-loads 0.25,0.5,1 -workers 8 \
+//	    -cpuprofile cpu.pprof -o BENCH_sweep.json
 package main
 
 import (
@@ -126,10 +133,30 @@ func main() {
 		scaleName = flag.String("scale", "quick", "quick or paper")
 		fig       = flag.String("fig", "", "run a single figure (1, 2, 4, 5-7/pagerank, 5-7/wordcount, 8, 9, 10, 11, overhead, ablations, learning, estimation, locality, analysis)")
 		format    = flag.String("format", "text", "text or json")
+
+		sweepMode = flag.Bool("sweep", false, "run the (scheduler × seed × load) sweep grid instead of figures")
+		opts      sweepOptions
 	)
+	flag.StringVar(&opts.schedulers, "sweep-schedulers", "", "comma-separated scheduler names for -sweep (default capacity,tetris,dollymp2; see internal/experiments.SweepSchedulerNames)")
+	flag.IntVar(&opts.seeds, "sweep-seeds", 0, "number of replication seeds for -sweep (default 8)")
+	flag.Uint64Var(&opts.seedBase, "sweep-seed-base", 0, "first seed of the replication range (default: scale seed)")
+	flag.StringVar(&opts.loads, "sweep-loads", "", "comma-separated target arrival loads for -sweep (default 0.5)")
+	flag.IntVar(&opts.jobs, "sweep-jobs", 0, "jobs per cell for -sweep (default: scale job count)")
+	flag.IntVar(&opts.fleet, "sweep-fleet", 0, "servers per cell for -sweep (default: scale fleet)")
+	flag.IntVar(&opts.workers, "workers", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
+	flag.StringVar(&opts.out, "o", "BENCH_sweep.json", "sweep JSON output path (- for stdout)")
+	flag.StringVar(&opts.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
+	flag.StringVar(&opts.memprofile, "memprofile", "", "write a heap profile after the sweep to this file")
 	flag.Parse()
 
-	if err := realMain(*scaleName, *fig, *format, os.Stdout); err != nil {
+	var err error
+	if *sweepMode {
+		opts.scale = *scaleName
+		err = runSweepMode(opts, os.Stdout)
+	} else {
+		err = realMain(*scaleName, *fig, *format, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dollymp-bench:", err)
 		os.Exit(1)
 	}

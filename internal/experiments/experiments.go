@@ -9,9 +9,11 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"dollymp/internal/cluster"
 	"dollymp/internal/core"
+	"dollymp/internal/metrics"
 	"dollymp/internal/sched"
 	"dollymp/internal/sim"
 	"dollymp/internal/stats"
@@ -48,18 +50,24 @@ func (s Scale) jobs(paperCount int) int {
 }
 
 // run executes one scheduler over one workload on a fresh copy of the
-// given fleet builder.
+// given fleet builder: a single-cell sweep, so every replication in the
+// package goes through the same pool substrate.
 func run(fleet func() *cluster.Cluster, jobs []*workload.Job, s sched.Scheduler, seed uint64) (*sim.Result, error) {
-	e, err := sim.New(sim.Config{
-		Cluster:   fleet(),
-		Jobs:      jobs,
-		Scheduler: s,
-		Seed:      seed,
-	})
+	outs, err := runAll(fleet, jobs, []sched.Scheduler{s}, seed)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return outs[0], nil
+}
+
+// writeSeriesTable validates the shared quantile grid and renders one
+// CDF table; the Write methods of every figure funnel through it.
+func writeSeriesTable(w io.Writer, title, xlabel string, series []metrics.Series) error {
+	tab, err := metrics.SeriesTable(title, xlabel, series)
+	if err != nil {
+		return err
+	}
+	return tab.Write(w)
 }
 
 // dolly builds the DollyMP^k variant with paper defaults.

@@ -66,12 +66,12 @@ func Figure11(cfg Figure11Config) (*Figure11Result, error) {
 
 // Write renders the two CDFs and the summary.
 func (r *Figure11Result) Write(w io.Writer) error {
-	if err := metrics.SeriesTable("Figure 11a: JCT ratio DollyMP²/Carbyne", "ratio",
-		[]metrics.Series{r.JCTRatioCDF}).Write(w); err != nil {
+	if err := writeSeriesTable(w, "Figure 11a: JCT ratio DollyMP²/Carbyne", "ratio",
+		[]metrics.Series{r.JCTRatioCDF}); err != nil {
 		return err
 	}
-	if err := metrics.SeriesTable("Figure 11b: resource ratio DollyMP²/Carbyne", "ratio",
-		[]metrics.Series{r.ResourceRatioCDF}).Write(w); err != nil {
+	if err := writeSeriesTable(w, "Figure 11b: resource ratio DollyMP²/Carbyne", "ratio",
+		[]metrics.Series{r.ResourceRatioCDF}); err != nil {
 		return err
 	}
 	tab := &metrics.Table{Title: "Figure 11 summary", Columns: []string{"metric", "value"}}

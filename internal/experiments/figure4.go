@@ -83,5 +83,5 @@ func (r *Figure4Result) Write(w io.Writer) error {
 	if err := tab.Write(w); err != nil {
 		return err
 	}
-	return metrics.SeriesTable("Figure 4b: running time CDF", "slots", r.RunningCDF).Write(w)
+	return writeSeriesTable(w, "Figure 4b: running time CDF", "slots", r.RunningCDF)
 }

@@ -106,10 +106,10 @@ func (e errUnknownApp) Error() string { return "experiments: unknown application
 
 // Write renders Figs. 5, 6 and 7 for this application.
 func (r *HeavyLoadResult) Write(w io.Writer) error {
-	if err := metrics.SeriesTable("Figure 5 ("+r.App+"): running time CDF, heavy load", "slots", r.RunningCDF).Write(w); err != nil {
+	if err := writeSeriesTable(w, "Figure 5 ("+r.App+"): running time CDF, heavy load", "slots", r.RunningCDF); err != nil {
 		return err
 	}
-	if err := metrics.SeriesTable("Figure 6 ("+r.App+"): flowtime CDF, heavy load", "slots", r.FlowtimeCDF).Write(w); err != nil {
+	if err := writeSeriesTable(w, "Figure 6 ("+r.App+"): flowtime CDF, heavy load", "slots", r.FlowtimeCDF); err != nil {
 		return err
 	}
 	cum := &metrics.Table{

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"dollymp/internal/metrics"
+	"dollymp/internal/sched"
 	"dollymp/internal/sched/drf"
 	"dollymp/internal/sched/tetris"
 	"dollymp/internal/stats"
@@ -53,18 +54,13 @@ func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 	fleet := sc.fleetFor()
 	jobs := googleWorkload(cfg.Jobs, fleet(), cfg.Load, cfg.Seed)
 
-	d2, err := run(fleet, jobs, dolly(2), cfg.Seed)
+	outs, err := runAll(fleet, jobs, []sched.Scheduler{
+		dolly(2), &tetris.Scheduler{R: 1.5}, &drf.Scheduler{},
+	}, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	tet, err := run(fleet, jobs, &tetris.Scheduler{R: 1.5}, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	dr, err := run(fleet, jobs, &drf.Scheduler{}, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
+	d2, tet, dr := outs[0], outs[1], outs[2]
 
 	fa, fb := pairedFlowtimes(d2, tet)
 	durRatios := stats.Ratios(fa, fb)
@@ -88,12 +84,12 @@ func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 
 // Write renders the two ratio CDFs and the headline numbers.
 func (r *Figure8Result) Write(w io.Writer) error {
-	if err := metrics.SeriesTable("Figure 8a: job duration ratio DollyMP²/Tetris", "ratio",
-		[]metrics.Series{r.DurationRatioCDF}).Write(w); err != nil {
+	if err := writeSeriesTable(w, "Figure 8a: job duration ratio DollyMP²/Tetris", "ratio",
+		[]metrics.Series{r.DurationRatioCDF}); err != nil {
 		return err
 	}
-	if err := metrics.SeriesTable("Figure 8b: resource usage ratio DollyMP²/DRF", "ratio",
-		[]metrics.Series{r.ResourceRatioCDF}).Write(w); err != nil {
+	if err := writeSeriesTable(w, "Figure 8b: resource usage ratio DollyMP²/DRF", "ratio",
+		[]metrics.Series{r.ResourceRatioCDF}); err != nil {
 		return err
 	}
 	tab := &metrics.Table{Title: "Figure 8 summary", Columns: []string{"metric", "value"}}

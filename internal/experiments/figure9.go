@@ -76,8 +76,8 @@ func Figure9(cfg Figure9Config) (*Figure9Result, error) {
 
 // Write renders the sweep.
 func (r *Figure9Result) Write(w io.Writer) error {
-	if err := metrics.SeriesTable("Figure 9a: flowtime ratio vs DollyMP⁰ by clone count", "ratio",
-		r.SpeedupCDF).Write(w); err != nil {
+	if err := writeSeriesTable(w, "Figure 9a: flowtime ratio vs DollyMP⁰ by clone count", "ratio",
+		r.SpeedupCDF); err != nil {
 		return err
 	}
 	tab := &metrics.Table{

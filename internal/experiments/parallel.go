@@ -1,41 +1,35 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"dollymp/internal/cluster"
 	"dollymp/internal/sched"
 	"dollymp/internal/sim"
+	"dollymp/internal/sweep"
 	"dollymp/internal/workload"
 )
 
-// runAll executes one simulation per scheduler concurrently — every
-// engine owns a private cluster copy and RNG, so runs are independent —
-// and returns results in input order. Concurrency is capped at
-// GOMAXPROCS; a single error aborts the batch.
+// runAll executes one simulation per scheduler through the sweep worker
+// pool — every cell owns a private cluster copy and engine, so runs are
+// independent — and returns results in input order. Concurrency is
+// capped at GOMAXPROCS; the first error aborts the batch.
 func runAll(fleet func() *cluster.Cluster, jobs []*workload.Job, scheds []sched.Scheduler, seed uint64) ([]*sim.Result, error) {
-	results := make([]*sim.Result, len(scheds))
-	errs := make([]error, len(scheds))
-
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+	variants := make([]sweep.Variant, len(scheds))
 	for i, s := range scheds {
-		wg.Add(1)
-		go func(i int, s sched.Scheduler) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = run(fleet, jobs, s, seed)
-		}(i, s)
+		s := s // one single-use instance per cell; the grid has one cell per variant
+		variants[i] = sweep.Variant{Name: s.Name(), New: func(uint64) sched.Scheduler { return s }}
 	}
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", scheds[i].Name(), err)
-		}
+	out, err := sweep.Run(sweep.Spec{
+		Schedulers: variants,
+		Seeds:      []uint64{seed},
+		Fleet:      fleet,
+		Jobs:       func(float64, uint64) []*workload.Job { return jobs },
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*sim.Result, len(scheds))
+	for i := range scheds {
+		results[i] = out.Cells[i].Res
 	}
 	return results, nil
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/sched"
+	"dollymp/internal/sched/capacity"
+	"dollymp/internal/sched/carbyne"
+	"dollymp/internal/sched/drf"
+	"dollymp/internal/sched/random"
+	"dollymp/internal/sched/srpt"
+	"dollymp/internal/sched/svf"
+	"dollymp/internal/sched/tetris"
+	"dollymp/internal/sweep"
+	"dollymp/internal/workload"
+)
+
+// schedulerFactories maps CLI-friendly names to fresh-instance builders
+// with paper-default parameters. Factories take the cell seed so
+// stochastic schedulers stay deterministic per cell.
+var schedulerFactories = map[string]func(seed uint64) sched.Scheduler{
+	"capacity": func(uint64) sched.Scheduler { return capacity.Default() },
+	"tetris":   func(uint64) sched.Scheduler { return &tetris.Scheduler{R: 1.5} },
+	"drf":      func(uint64) sched.Scheduler { return &drf.Scheduler{} },
+	"srpt":     func(uint64) sched.Scheduler { return &srpt.Scheduler{R: 1.5} },
+	"svf":      func(uint64) sched.Scheduler { return &svf.Scheduler{R: 1.5} },
+	"carbyne":  func(uint64) sched.Scheduler { return &carbyne.Scheduler{R: 1.5} },
+	"random":   func(seed uint64) sched.Scheduler { return random.New(seed) },
+	"dollymp0": func(uint64) sched.Scheduler { return dolly(0) },
+	"dollymp1": func(uint64) sched.Scheduler { return dolly(1) },
+	"dollymp2": func(uint64) sched.Scheduler { return dolly(2) },
+	"dollymp3": func(uint64) sched.Scheduler { return dolly(3) },
+}
+
+// SweepSchedulerNames lists every scheduler the sweep grid accepts, for
+// CLI help and validation.
+func SweepSchedulerNames() []string {
+	names := make([]string, 0, len(schedulerFactories))
+	for name := range schedulerFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchedulerVariant resolves a scheduler name to a sweep axis point.
+func SchedulerVariant(name string) (sweep.Variant, error) {
+	f, ok := schedulerFactories[name]
+	if !ok {
+		return sweep.Variant{}, fmt.Errorf("experiments: unknown scheduler %q (have %v)",
+			name, SweepSchedulerNames())
+	}
+	return sweep.Variant{Name: name, New: f}, nil
+}
+
+// SweepConfig configures the (scheduler × seed × load) replication grid
+// of RunSweep: the §6.3 trace-driven workload replayed under every named
+// scheduler, once per seed, at every target arrival load.
+type SweepConfig struct {
+	Schedulers []string
+	Seeds      []uint64
+	Loads      []float64
+	// Jobs and Fleet size each cell's workload and cluster.
+	Jobs  int
+	Fleet int
+	// FleetSeed fixes the hardware mix; the whole grid runs on the same
+	// (copies of the same) fleet so cells differ only along the axes.
+	FleetSeed uint64
+	// Workers bounds concurrent cells; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultSweep is the standing benchmark grid: three schedulers × eight
+// seeds at moderate load, the replication floor for trend tracking.
+func DefaultSweep(sc Scale) SweepConfig {
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = sc.Seed + uint64(i)
+	}
+	return SweepConfig{
+		Schedulers: []string{"capacity", "tetris", "dollymp2"},
+		Seeds:      seeds,
+		Loads:      []float64{0.5},
+		Jobs:       sc.jobs(600),
+		Fleet:      sc.Fleet,
+		FleetSeed:  sc.Seed,
+	}
+}
+
+// RunSweep executes the grid through the sweep pool.
+func RunSweep(cfg SweepConfig) (*sweep.Outcome, error) {
+	variants := make([]sweep.Variant, len(cfg.Schedulers))
+	for i, name := range cfg.Schedulers {
+		v, err := SchedulerVariant(name)
+		if err != nil {
+			return nil, err
+		}
+		variants[i] = v
+	}
+	if cfg.Jobs <= 0 || cfg.Fleet <= 0 {
+		return nil, fmt.Errorf("experiments: sweep needs positive jobs (%d) and fleet (%d)", cfg.Jobs, cfg.Fleet)
+	}
+	return sweep.Run(sweep.Spec{
+		Schedulers: variants,
+		Seeds:      cfg.Seeds,
+		Loads:      cfg.Loads,
+		Workers:    cfg.Workers,
+		Fleet:      func() *cluster.Cluster { return cluster.LargeFleet(cfg.Fleet, cfg.FleetSeed) },
+		Jobs: func(load float64, seed uint64) []*workload.Job {
+			return googleWorkload(cfg.Jobs, cluster.LargeFleet(cfg.Fleet, cfg.FleetSeed), load, seed)
+		},
+	})
+}

@@ -4,9 +4,11 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 
 	"dollymp/internal/stats"
 )
@@ -32,16 +34,19 @@ func (t *Table) AddRow(vals ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Write renders the table as aligned text.
+// Write renders the table as aligned text. Cell widths count runes, not
+// bytes: scheduler names ("DollyMP³"), comparison text ("≥30%") and
+// ablation labels ("δ") are multi-byte and would otherwise misalign
+// every column after them.
 func (t *Table) Write(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, r := range t.Rows {
 		for i, cell := range r {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -84,10 +89,21 @@ func (t *Table) String() string {
 }
 
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
+}
+
+// MarshalJSON encodes the table with a stable lowercase schema, the form
+// BENCH_*.json and downstream plotting consume.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
 }
 
 // Series is one named plotted line (e.g. one scheduler's CDF).
@@ -96,29 +112,57 @@ type Series struct {
 	Points []stats.Point
 }
 
+// MarshalJSON encodes the series as {"name", "points": [{"x","y"}]}.
+func (s Series) MarshalJSON() ([]byte, error) {
+	type point struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	}
+	pts := make([]point, len(s.Points))
+	for i, p := range s.Points {
+		pts[i] = point{X: p.X, Y: p.Y}
+	}
+	return json.Marshal(struct {
+		Name   string  `json:"name"`
+		Points []point `json:"points"`
+	}{Name: s.Name, Points: pts})
+}
+
 // SeriesTable renders several series as a quantile table: one row per
 // probability level, one column per series — the textual form of the
-// paper's CDF figures.
-func SeriesTable(title, xlabel string, series []Series) *Table {
+// paper's CDF figures. The first column labels each row with the shared
+// quantile grid, so every series must be sampled on that grid: a
+// row-count or probability mismatch is an error, not a silently
+// mislabeled table.
+func SeriesTable(title, xlabel string, series []Series) (*Table, error) {
 	t := &Table{Title: title, Columns: append([]string{"CDF"}, names(series)...)}
+	t.Title = fmt.Sprintf("%s (x = %s)", title, xlabel)
 	if len(series) == 0 {
-		return t
+		return t, nil
 	}
 	n := len(series[0].Points)
+	for _, s := range series[1:] {
+		if len(s.Points) != n {
+			return nil, fmt.Errorf("metrics: series %q has %d rows but %q has %d: quantile grids differ",
+				s.Name, len(s.Points), series[0].Name, n)
+		}
+	}
 	for i := 0; i < n; i++ {
-		row := make([]interface{}, 0, len(series)+1)
-		row = append(row, fmt.Sprintf("%.2f", series[0].Points[i].Y))
-		for _, s := range series {
-			if i < len(s.Points) {
-				row = append(row, fmt.Sprintf("%.1f", s.Points[i].X))
-			} else {
-				row = append(row, "-")
+		y := series[0].Points[i].Y
+		for _, s := range series[1:] {
+			if s.Points[i].Y != y {
+				return nil, fmt.Errorf("metrics: series %q samples probability %v at row %d where %q samples %v",
+					s.Name, s.Points[i].Y, i, series[0].Name, y)
 			}
+		}
+		row := make([]interface{}, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%.2f", y))
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.1f", s.Points[i].X))
 		}
 		t.AddRow(row...)
 	}
-	t.Title = fmt.Sprintf("%s (x = %s)", title, xlabel)
-	return t
+	return t, nil
 }
 
 func names(series []Series) []string {
@@ -170,6 +214,16 @@ func Compare(name, baseline string, subject, base []float64) Comparison {
 		MeanReduction:  mr,
 		FracImproved30: frac,
 	}
+}
+
+// MarshalJSON encodes the comparison with a stable lowercase schema.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name           string  `json:"name"`
+		Baseline       string  `json:"baseline"`
+		MeanReduction  float64 `json:"mean_reduction"`
+		FracImproved30 float64 `json:"frac_improved_30"`
+	}{c.Name, c.Baseline, c.MeanReduction, c.FracImproved30})
 }
 
 // String renders the comparison as one line.

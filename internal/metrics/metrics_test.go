@@ -1,11 +1,37 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"dollymp/internal/stats"
 )
+
+func TestJSONEncoders(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	b, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"title":"t","columns":["a"],"rows":[["1"]]}`; got != want {
+		t.Errorf("table JSON: %s", got)
+	}
+	b, err = json.Marshal(Series{Name: "s", Points: []stats.Point{{X: 1, Y: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"name":"s","points":[{"x":1,"y":0.5}]}`; got != want {
+		t.Errorf("series JSON: %s", got)
+	}
+	b, err = json.Marshal(Comparison{Name: "d2", Baseline: "tetris", MeanReduction: 0.25, FracImproved30: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"name":"d2","baseline":"tetris","mean_reduction":0.25,"frac_improved_30":0.5}`; got != want {
+		t.Errorf("comparison JSON: %s", got)
+	}
+}
 
 func TestTableFormatting(t *testing.T) {
 	tab := &Table{Title: "Demo", Columns: []string{"name", "value"}}
@@ -36,7 +62,10 @@ func TestTableFormatting(t *testing.T) {
 func TestSeriesTable(t *testing.T) {
 	s1 := CDFSeries("a", []float64{1, 2, 3, 4}, 4)
 	s2 := CDFSeries("b", []float64{10, 20, 30, 40}, 4)
-	tab := SeriesTable("cdf", "slots", []Series{s1, s2})
+	tab, err := SeriesTable("cdf", "slots", []Series{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := tab.String()
 	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
 		t.Error("missing series names")
@@ -48,14 +77,47 @@ func TestSeriesTable(t *testing.T) {
 		t.Fatalf("rows: %d", len(tab.Rows))
 	}
 	// Empty series list doesn't crash.
-	if got := SeriesTable("e", "x", nil).String(); got == "" {
+	empty, err := SeriesTable("e", "x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() == "" {
 		t.Error("empty series table should still render header")
 	}
-	// Ragged series lengths render placeholders.
+}
+
+func TestSeriesTableRejectsMismatchedGrids(t *testing.T) {
+	s1 := CDFSeries("a", []float64{1, 2, 3, 4}, 4)
+	// Row-count mismatch: rows would be silently mislabeled before the
+	// validation existed.
 	short := Series{Name: "s", Points: []stats.Point{{X: 1, Y: 0.5}}}
-	tab = SeriesTable("r", "x", []Series{s1, short})
-	if !strings.Contains(tab.String(), "-") {
-		t.Error("missing placeholder for short series")
+	if _, err := SeriesTable("r", "x", []Series{s1, short}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	// Same length, different probability grid.
+	shifted := CDFSeries("t", []float64{1, 2, 3, 4}, 4)
+	for i := range shifted.Points {
+		shifted.Points[i].Y += 0.01
+	}
+	if _, err := SeriesTable("g", "x", []Series{s1, shifted}); err == nil {
+		t.Error("shifted quantile grid accepted")
+	}
+}
+
+func TestTableAlignsMultiByteRunes(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"scheduler", "value"}}
+	tab.AddRow("DollyMP³", 1.0) // 8 runes, 10 bytes
+	tab.AddRow("capacity", 2.0) // 8 runes, 8 bytes
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Both value cells must start at the same column when widths count
+	// runes; byte-width padding shifts the row after the multi-byte name.
+	d3 := []rune(lines[3])
+	d4 := []rune(lines[4])
+	at3 := strings.IndexRune(string(d3), '1')
+	at4 := strings.IndexRune(string(d4), '2')
+	if len([]rune(lines[3][:at3])) != len([]rune(lines[4][:at4])) {
+		t.Errorf("misaligned multi-byte rows:\n%s", s)
 	}
 }
 

@@ -83,8 +83,12 @@ type taskCopy struct {
 	demand resources.Vector
 	start  int64
 	finish int64
-	clone  bool
-	killed bool
+	// penalty is the transfer-penalty share of the copy's duration:
+	// slots spent fetching remote input, not computing. Speed estimation
+	// must exclude it — it says nothing about the server.
+	penalty int64
+	clone   bool
+	killed  bool
 }
 
 // copyHeap is a min-heap of running copies ordered by finish slot.
@@ -358,7 +362,10 @@ func (e *Engine) completeTask(winner *taskCopy) error {
 		e.observed[key] = obs
 	}
 	obs.Add(float64(e.clock - winner.start))
-	if dur := e.clock - winner.start; dur > 0 {
+	// Speed is compute time only: a cross-rack transfer penalty in the
+	// denominator would make a healthy server look slow and steer
+	// WithStragglerAvoidance away from it.
+	if dur := e.clock - winner.start - winner.penalty; dur > 0 {
 		e.speedEst[winner.server].observe(
 			js.Job.Phases[ref.Phase].MeanDuration / float64(dur))
 	}
@@ -477,14 +484,15 @@ func (e *Engine) applyPlacement(p sched.Placement) error {
 		return fmt.Errorf("sim: placement %v: %w", p.Ref, err)
 	}
 
-	dur := e.sampleDuration(js, p.Ref, p.Server)
+	dur, penalty := e.sampleDuration(js, p.Ref, p.Server)
 	c := &taskCopy{
-		ref:    p.Ref,
-		server: p.Server,
-		demand: ph.Demand,
-		start:  e.clock,
-		finish: e.clock + dur,
-		clone:  len(existing) > 0,
+		ref:     p.Ref,
+		server:  p.Server,
+		demand:  ph.Demand,
+		start:   e.clock,
+		finish:  e.clock + dur + penalty,
+		penalty: penalty,
+		clone:   len(existing) > 0,
 	}
 	e.copies[p.Ref] = append(existing, c)
 	heap.Push(&e.running, c)
@@ -510,10 +518,12 @@ func (e *Engine) applyPlacement(p sched.Placement) error {
 	return nil
 }
 
-// sampleDuration draws a copy duration in slots: a Pareto straggler draw
-// (or the mean, when deterministic) divided by the server's effective
-// speed, plus any cross-rack transfer penalty, rounded up to ≥ 1 slot.
-func (e *Engine) sampleDuration(js *workload.JobState, ref workload.TaskRef, server cluster.ServerID) int64 {
+// sampleDuration draws a copy's compute duration in slots — a Pareto
+// straggler draw (or the mean, when deterministic) divided by the
+// server's effective speed, rounded up to ≥ 1 slot — and returns any
+// cross-rack transfer penalty separately so completion-time accounting
+// can keep the two apart.
+func (e *Engine) sampleDuration(js *workload.JobState, ref workload.TaskRef, server cluster.ServerID) (dur, penalty int64) {
 	ph := &js.Job.Phases[ref.Phase]
 	var base float64
 	if e.cfg.Deterministic {
@@ -534,16 +544,16 @@ func (e *Engine) sampleDuration(js *workload.JobState, ref workload.TaskRef, ser
 		base = dist.Sample(e.rng)
 	}
 	speed := e.cfg.Cluster.Server(server).EffectiveSpeed()
-	dur := int64(base/speed + 0.999999)
+	dur = int64(base/speed + 0.999999)
 	if dur < 1 {
 		dur = 1
 	}
 	if e.cfg.TransferPenalty > 0 {
 		if e.crossRack(js, ref, server) || e.outputContention(js, ref) {
-			dur += e.cfg.TransferPenalty
+			penalty = e.cfg.TransferPenalty
 		}
 	}
-	return dur
+	return dur, penalty
 }
 
 // outputContention reports whether this copy must share an upstream

@@ -1,0 +1,55 @@
+package sweep
+
+import "math"
+
+// Interval is an across-seed summary of one statistic: the sample mean
+// and a two-sided 95% Student-t confidence interval.
+type Interval struct {
+	Mean float64 `json:"mean"`
+	SD   float64 `json:"sd"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+// NewInterval summarizes the samples. With one sample (or none) the
+// interval collapses to the mean — there is no dispersion estimate.
+func NewInterval(samples []float64) Interval {
+	n := len(samples)
+	if n == 0 {
+		return Interval{}
+	}
+	mean := 0.0
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(n)
+	if n == 1 {
+		return Interval{Mean: mean, Lo: mean, Hi: mean}
+	}
+	m2 := 0.0
+	for _, v := range samples {
+		d := v - mean
+		m2 += d * d
+	}
+	sd := math.Sqrt(m2 / float64(n-1))
+	half := tCritical95(n-1) * sd / math.Sqrt(float64(n))
+	return Interval{Mean: mean, SD: sd, Lo: mean - half, Hi: mean + half}
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1–30
+// degrees of freedom; beyond that the normal approximation is used.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCritical95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.960
+}

@@ -1,0 +1,274 @@
+// Package sweep is the multi-replication evaluation substrate: it fans a
+// (scheduler × seed × arrival-load) grid out across a bounded worker
+// pool, runs one private sim.Engine per cell, and aggregates the per-cell
+// job-completion-time statistics into across-seed means with confidence
+// intervals. Every later performance PR measures itself against the
+// machine-readable output this package produces (BENCH_sweep.json via
+// cmd/dollymp-bench -sweep).
+//
+// Determinism contract: each cell is a pure function of (fleet spec,
+// workload, scheduler, seed), and results are stored by grid index, so
+// Outcome — cells and aggregates alike — is byte-for-byte identical
+// regardless of Workers. Only JCTStats.SchedWallNs (a stopwatch) varies
+// run to run; it never feeds back into any decision or aggregate.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/sched"
+	"dollymp/internal/sim"
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+// Variant is one point on the scheduler axis. New must return a fresh
+// scheduler on every call: instances may carry state, and every grid
+// cell runs on its own goroutine with its own engine. The cell's seed is
+// passed so stochastic schedulers (e.g. random placement) stay
+// deterministic per cell.
+type Variant struct {
+	Name string
+	New  func(seed uint64) sched.Scheduler
+}
+
+// Spec describes one sweep: the grid axes and the per-cell simulation
+// ingredients.
+type Spec struct {
+	// Schedulers, Seeds and Loads are the grid axes. Loads may be empty
+	// — a single implicit 0 point — for experiments without an
+	// arrival-rate dimension.
+	Schedulers []Variant
+	Seeds      []uint64
+	Loads      []float64
+
+	// Fleet builds a private cluster per cell; engines mutate their
+	// cluster, so cells must never share one.
+	Fleet func() *cluster.Cluster
+	// Jobs builds the workload for one (load, seed) grid point. It is
+	// invoked at most once per point, from whichever worker gets there
+	// first, and must depend only on its arguments. The returned jobs
+	// are shared read-only by every scheduler at that point (engines
+	// mutate JobState, never Job — the same contract the per-scheduler
+	// comparisons have always relied on).
+	Jobs func(load float64, seed uint64) []*workload.Job
+
+	// Workers bounds concurrently running cells; 0 means GOMAXPROCS.
+	Workers int
+	// Configure optionally adjusts a cell's sim.Config (transfer
+	// penalties, determinism, trace capture) after the engine
+	// ingredients are filled in.
+	Configure func(*sim.Config)
+}
+
+// Cell identifies one grid point.
+type Cell struct {
+	Scheduler string  `json:"scheduler"`
+	Seed      uint64  `json:"seed"`
+	Load      float64 `json:"load"`
+}
+
+// JCTStats summarizes the job-completion-time outcome of one cell.
+type JCTStats struct {
+	Jobs           int     `json:"jobs"`
+	MeanJCT        float64 `json:"mean_jct"`
+	P50JCT         float64 `json:"p50_jct"`
+	P99JCT         float64 `json:"p99_jct"`
+	TotalFlowtime  float64 `json:"total_flowtime"`
+	Makespan       int64   `json:"makespan"`
+	AvgUtilization float64 `json:"avg_utilization"`
+	SchedCalls     int     `json:"sched_calls"`
+	// SchedWallNs is Result.SchedWall: real time spent inside the
+	// scheduler. It is the one non-deterministic field here and is
+	// excluded from aggregates.
+	SchedWallNs int64 `json:"sched_wall_ns"`
+}
+
+// CellResult is one completed simulation.
+type CellResult struct {
+	Cell  Cell
+	Res   *sim.Result
+	Stats JCTStats
+}
+
+// Aggregate is the across-seed summary for one (scheduler, load) pair.
+type Aggregate struct {
+	Scheduler string `json:"scheduler"`
+	Load      float64 `json:"load"`
+	Seeds     int     `json:"seeds"`
+
+	MeanJCT       Interval `json:"mean_jct"`
+	P50JCT        Interval `json:"p50_jct"`
+	P99JCT        Interval `json:"p99_jct"`
+	TotalFlowtime Interval `json:"total_flowtime"`
+}
+
+// Outcome is the full result of one sweep.
+type Outcome struct {
+	// Cells holds every grid point in deterministic order: load-major,
+	// then seed, then scheduler — independent of worker count.
+	Cells []CellResult
+	// Aggregates holds one across-seed summary per (load, scheduler),
+	// in the same deterministic order.
+	Aggregates []Aggregate
+}
+
+// Run executes the grid. The pool dispatches cells in index order;
+// the first cell error cancels all undispatched work and is returned
+// (the lowest-index error wins, so the reported failure is stable).
+func Run(spec Spec) (*Outcome, error) {
+	if len(spec.Schedulers) == 0 {
+		return nil, fmt.Errorf("sweep: no schedulers")
+	}
+	if len(spec.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: no seeds")
+	}
+	if spec.Fleet == nil {
+		return nil, fmt.Errorf("sweep: nil fleet builder")
+	}
+	if spec.Jobs == nil {
+		return nil, fmt.Errorf("sweep: nil jobs builder")
+	}
+	loads := spec.Loads
+	if len(loads) == 0 {
+		loads = []float64{0}
+	}
+
+	nScheds := len(spec.Schedulers)
+	nPoints := len(loads) * len(spec.Seeds)
+	nCells := nPoints * nScheds
+
+	// One lazily built workload per (load, seed) point, shared by that
+	// point's schedulers.
+	points := make([]struct {
+		once sync.Once
+		jobs []*workload.Job
+	}, nPoints)
+
+	cells := make([]CellResult, nCells)
+	errs := make([]error, nCells)
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nCells {
+		workers = nCells
+	}
+
+	work := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	runCell := func(idx int) error {
+		si := idx % nScheds
+		pi := idx / nScheds
+		ki := pi % len(spec.Seeds)
+		li := pi / len(spec.Seeds)
+		load, seed := loads[li], spec.Seeds[ki]
+		v := spec.Schedulers[si]
+
+		pt := &points[pi]
+		pt.once.Do(func() { pt.jobs = spec.Jobs(load, seed) })
+
+		cfg := sim.Config{
+			Cluster:   spec.Fleet(),
+			Jobs:      pt.jobs,
+			Scheduler: v.New(seed),
+			Seed:      seed,
+		}
+		if spec.Configure != nil {
+			spec.Configure(&cfg)
+		}
+		eng, err := sim.New(cfg)
+		if err != nil {
+			return fmt.Errorf("sweep: %s/seed=%d/load=%g: %w", v.Name, seed, load, err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return fmt.Errorf("sweep: %s/seed=%d/load=%g: %w", v.Name, seed, load, err)
+		}
+		cells[idx] = CellResult{
+			Cell:  Cell{Scheduler: v.Name, Seed: seed, Load: load},
+			Res:   res,
+			Stats: summarize(res),
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				if err := runCell(idx); err != nil {
+					errs[idx] = err
+					cancel()
+				}
+			}
+		}()
+	}
+dispatch:
+	for idx := 0; idx < nCells; idx++ {
+		select {
+		case work <- idx:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Outcome{Cells: cells}
+	for li := range loads {
+		for si, v := range spec.Schedulers {
+			agg := Aggregate{Scheduler: v.Name, Load: loads[li], Seeds: len(spec.Seeds)}
+			var mean, p50, p99, total []float64
+			for ki := range spec.Seeds {
+				st := cells[(li*len(spec.Seeds)+ki)*nScheds+si].Stats
+				mean = append(mean, st.MeanJCT)
+				p50 = append(p50, st.P50JCT)
+				p99 = append(p99, st.P99JCT)
+				total = append(total, st.TotalFlowtime)
+			}
+			agg.MeanJCT = NewInterval(mean)
+			agg.P50JCT = NewInterval(p50)
+			agg.P99JCT = NewInterval(p99)
+			agg.TotalFlowtime = NewInterval(total)
+			out.Aggregates = append(out.Aggregates, agg)
+		}
+	}
+	return out, nil
+}
+
+// summarize reduces one run to its JCT statistics.
+func summarize(res *sim.Result) JCTStats {
+	st := JCTStats{
+		Jobs:           len(res.Jobs),
+		Makespan:       res.Makespan,
+		AvgUtilization: res.AvgUtilization,
+		SchedCalls:     res.SchedCalls,
+		SchedWallNs:    res.SchedWall.Nanoseconds(),
+	}
+	if len(res.Jobs) == 0 {
+		return st
+	}
+	flows := res.Flowtimes()
+	ecdf := stats.NewECDF(flows)
+	st.MeanJCT = stats.Mean(flows)
+	st.P50JCT = ecdf.Quantile(0.5)
+	st.P99JCT = ecdf.Quantile(0.99)
+	st.TotalFlowtime = stats.Sum(flows)
+	return st
+}

@@ -1,0 +1,234 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+// firstFit is a minimal FIFO first-fit test scheduler.
+type firstFit struct{}
+
+func (firstFit) Name() string { return "firstfit" }
+
+func (firstFit) Schedule(ctx sched.Context) []sched.Placement {
+	var out []sched.Placement
+	ft := sched.NewFitTracker(ctx.Cluster())
+	for _, js := range ctx.Jobs() {
+		for _, pt := range sched.ReadyPendingTasks(js) {
+			for _, s := range ctx.Cluster().Servers() {
+				if ft.Place(s.ID, pt.Demand) {
+					out = append(out, sched.Placement{Ref: pt.Ref, Server: s.ID})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lastFit is firstFit scanning servers in reverse, so the two variants
+// produce different placements (and different results) on a shared grid.
+type lastFit struct{}
+
+func (lastFit) Name() string { return "lastfit" }
+
+func (lastFit) Schedule(ctx sched.Context) []sched.Placement {
+	var out []sched.Placement
+	ft := sched.NewFitTracker(ctx.Cluster())
+	servers := ctx.Cluster().Servers()
+	for _, js := range ctx.Jobs() {
+		for _, pt := range sched.ReadyPendingTasks(js) {
+			for i := len(servers) - 1; i >= 0; i-- {
+				if ft.Place(servers[i].ID, pt.Demand) {
+					out = append(out, sched.Placement{Ref: pt.Ref, Server: servers[i].ID})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// idle never places anything, so any workload gets the engine stuck.
+type idle struct{}
+
+func (idle) Name() string                          { return "idle" }
+func (idle) Schedule(sched.Context) []sched.Placement { return nil }
+
+func testSpec(workers int) Spec {
+	return Spec{
+		Schedulers: []Variant{
+			{Name: "firstfit", New: func(uint64) sched.Scheduler { return firstFit{} }},
+			{Name: "lastfit", New: func(uint64) sched.Scheduler { return lastFit{} }},
+		},
+		Seeds: []uint64{1, 2, 3},
+		Loads: []float64{0.5, 1},
+		Fleet: func() *cluster.Cluster { return cluster.Uniform(4, resources.Cores(2, 4)) },
+		Jobs: func(load float64, seed uint64) []*workload.Job {
+			// Arrival gap shrinks with load; durations vary by seed.
+			rng := stats.NewRNG(seed)
+			gap := int64(10 / load)
+			jobs := make([]*workload.Job, 6)
+			for i := range jobs {
+				mean := 4 + math.Floor(6*rng.Float64())
+				jobs[i] = workload.SingleTask(workload.JobID(i), int64(i)*gap,
+					resources.Cores(1, 1), mean, 2)
+			}
+			return jobs
+		},
+		Workers: workers,
+	}
+}
+
+// deterministicView strips the one wall-clock field so outcomes can be
+// compared byte-for-byte.
+func deterministicView(t *testing.T, out *Outcome) []byte {
+	t.Helper()
+	type cellView struct {
+		Cell  Cell     `json:"cell"`
+		Stats JCTStats `json:"stats"`
+	}
+	view := struct {
+		Cells      []cellView  `json:"cells"`
+		Aggregates []Aggregate `json:"aggregates"`
+	}{Aggregates: out.Aggregates}
+	for _, c := range out.Cells {
+		st := c.Stats
+		st.SchedWallNs = 0
+		view.Cells = append(view.Cells, cellView{Cell: c.Cell, Stats: st})
+	}
+	b, err := json.Marshal(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterministicAcrossWorkers certifies the pool: the same grid run
+// with 1, 2 and GOMAXPROCS workers must produce byte-identical cells and
+// aggregates. Run under -race this also proves each engine stays
+// goroutine-confined.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0), 7}
+	var want []byte
+	for _, w := range counts {
+		out, err := Run(testSpec(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(out.Cells) != 2*3*2 {
+			t.Fatalf("workers=%d: %d cells", w, len(out.Cells))
+		}
+		got := deterministicView(t, out)
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("workers=%d: outcome differs from workers=%d baseline:\n%s\nvs\n%s",
+				w, counts[0], got, want)
+		}
+	}
+}
+
+func TestCellOrderingAndAggregates(t *testing.T) {
+	out, err := Run(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order: load-major, then seed, then scheduler.
+	idx := 0
+	for _, load := range []float64{0.5, 1} {
+		for _, seed := range []uint64{1, 2, 3} {
+			for _, name := range []string{"firstfit", "lastfit"} {
+				c := out.Cells[idx].Cell
+				if c.Scheduler != name || c.Seed != seed || c.Load != load {
+					t.Fatalf("cell %d: %+v, want %s/%d/%g", idx, c, name, seed, load)
+				}
+				if out.Cells[idx].Res == nil || out.Cells[idx].Stats.Jobs != 6 {
+					t.Fatalf("cell %d incomplete: %+v", idx, out.Cells[idx].Stats)
+				}
+				idx++
+			}
+		}
+	}
+	if len(out.Aggregates) != 4 { // 2 loads × 2 schedulers
+		t.Fatalf("aggregates: %d", len(out.Aggregates))
+	}
+	for _, a := range out.Aggregates {
+		if a.Seeds != 3 {
+			t.Errorf("aggregate %s/%g: seeds %d", a.Scheduler, a.Load, a.Seeds)
+		}
+		if a.MeanJCT.Mean <= 0 || a.MeanJCT.Lo > a.MeanJCT.Mean || a.MeanJCT.Hi < a.MeanJCT.Mean {
+			t.Errorf("aggregate %s/%g: bad interval %+v", a.Scheduler, a.Load, a.MeanJCT)
+		}
+	}
+}
+
+func TestErrorCancelsAndIdentifiesCell(t *testing.T) {
+	spec := testSpec(2)
+	spec.Schedulers = append(spec.Schedulers,
+		Variant{Name: "idle", New: func(uint64) sched.Scheduler { return idle{} }})
+	_, err := Run(spec)
+	if err == nil {
+		t.Fatal("idle scheduler should fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "sweep: idle/seed=") {
+		t.Errorf("error lacks cell identity: %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	s := testSpec(1)
+	s.Seeds = nil
+	if _, err := Run(s); err == nil {
+		t.Error("no seeds accepted")
+	}
+	s = testSpec(1)
+	s.Fleet = nil
+	if _, err := Run(s); err == nil {
+		t.Error("nil fleet accepted")
+	}
+	s = testSpec(1)
+	s.Jobs = nil
+	if _, err := Run(s); err == nil {
+		t.Error("nil jobs accepted")
+	}
+}
+
+func TestInterval(t *testing.T) {
+	if iv := NewInterval(nil); iv != (Interval{}) {
+		t.Errorf("empty: %+v", iv)
+	}
+	if iv := NewInterval([]float64{5}); iv.Mean != 5 || iv.Lo != 5 || iv.Hi != 5 || iv.SD != 0 {
+		t.Errorf("single: %+v", iv)
+	}
+	// Constant samples: zero-width interval.
+	if iv := NewInterval([]float64{3, 3, 3, 3}); iv.Lo != 3 || iv.Hi != 3 {
+		t.Errorf("constant: %+v", iv)
+	}
+	// n=4, samples 1..4: mean 2.5, sd ≈ 1.2910, t(3) = 3.182.
+	iv := NewInterval([]float64{1, 2, 3, 4})
+	if math.Abs(iv.Mean-2.5) > 1e-12 {
+		t.Errorf("mean: %v", iv.Mean)
+	}
+	wantHalf := 3.182 * iv.SD / 2
+	if math.Abs((iv.Hi-iv.Mean)-wantHalf) > 1e-9 || math.Abs((iv.Mean-iv.Lo)-wantHalf) > 1e-9 {
+		t.Errorf("interval: %+v want half-width %v", iv, wantHalf)
+	}
+	if tCritical95(0) != 0 || tCritical95(1) != 12.706 || tCritical95(30) != 2.042 || tCritical95(1000) != 1.960 {
+		t.Error("t table lookup")
+	}
+}
