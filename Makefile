@@ -1,15 +1,31 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short race bench check sweep figures figures-paper cover clean
+.PHONY: all build test test-short race bench check staticcheck smoke sweep figures figures-paper cover clean
 
 all: build test
 
-# check is what CI runs: static analysis, a full build, and the race
-# detector over every test (which certifies the sweep worker pool).
-check:
+# check is what CI runs: static analysis, a full build, the race
+# detector over every test (which certifies the sweep worker pool and
+# the online service), and the daemon smoke test.
+check: staticcheck
 	go vet ./...
 	go build ./...
 	go test -race ./...
+	./scripts/smoke.sh
+
+# staticcheck runs when the binary is installed (CI installs it; local
+# runs without it just skip).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# e2e smoke: boot dollympd, push jobs via dollymp-load, verify /metrics
+# and a clean drain.
+smoke:
+	./scripts/smoke.sh
 
 # Run the multi-seed benchmark sweep and write BENCH_sweep.json.
 sweep:

@@ -1,0 +1,202 @@
+// Command dollymp-load fires synthetic jobs at a running dollympd and
+// reports submission throughput and latency percentiles. It is both a
+// load generator and the e2e smoke check: with -wait it polls the
+// daemon until every submitted job completes and certifies the /metrics
+// endpoint parses as Prometheus text with counters that agree.
+//
+// Usage:
+//
+//	dollymp-load -addr http://127.0.0.1:8080 -n 500 -c 8 -qps 200
+//	dollymp-load -addr http://127.0.0.1:8080 -n 50 -c 4 -wait
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dollymp"
+	"dollymp/internal/metrics"
+	"dollymp/internal/stats"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "dollympd base URL")
+		n       = flag.Int("n", 100, "total jobs to submit")
+		c       = flag.Int("c", 4, "concurrent submitters")
+		qps     = flag.Float64("qps", 0, "target aggregate submission rate (0 = closed loop)")
+		wl      = flag.String("workload", "mixed", "workload: "+strings.Join(dollymp.WorkloadNames(), ", "))
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		wait    = flag.Bool("wait", false, "after submitting, wait for all jobs to complete and verify /metrics")
+		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline for -wait")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *wl, *n, *c, *qps, *seed, *wait, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "dollymp-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, wl string, n, c int, qps float64, seed uint64, wait bool, timeout time.Duration) error {
+	if n < 1 || c < 1 {
+		return fmt.Errorf("-n and -c must be positive")
+	}
+	jobs, err := dollymp.NewWorkload(wl, n, 0, seed)
+	if err != nil {
+		return err
+	}
+	bodies := make([][]byte, n)
+	for i, j := range jobs {
+		// The daemon assigns IDs and arrival slots; strip ours so the
+		// strict decoder sees a clean submission.
+		j.ID = 0
+		j.Arrival = 0
+		if bodies[i], err = json.Marshal(j); err != nil {
+			return err
+		}
+	}
+
+	// A global ticker paces the aggregate rate; closed loop if qps == 0.
+	var tick <-chan time.Time
+	if qps > 0 {
+		tk := time.NewTicker(time.Duration(float64(time.Second) / qps))
+		defer tk.Stop()
+		tick = tk.C
+	}
+
+	var (
+		next      atomic.Int64
+		submitted atomic.Int64
+		retries   atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, c)
+	for g := 0; g < c; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if tick != nil {
+					<-tick
+				}
+				lat, err := submitOne(client, addr, bodies[i], &retries)
+				if err != nil {
+					errCh <- fmt.Errorf("job %d: %w", i, err)
+					return
+				}
+				submitted.Add(1)
+				mu.Lock()
+				latencies = append(latencies, lat.Seconds()*1e3)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	ecdf := stats.NewECDF(latencies)
+	fmt.Printf("submitted %d jobs in %v (%.1f jobs/s, %d submitters, %d backpressure retries)\n",
+		submitted.Load(), elapsed.Round(time.Millisecond),
+		float64(submitted.Load())/elapsed.Seconds(), c, retries.Load())
+	fmt.Printf("submit latency p50/p95/p99: %.2f / %.2f / %.2f ms\n",
+		ecdf.Quantile(0.5), ecdf.Quantile(0.95), ecdf.Quantile(0.99))
+
+	if !wait {
+		return nil
+	}
+	return waitComplete(client, addr, int64(n), timeout)
+}
+
+// submitOne POSTs one job body, retrying on 429 backpressure, and
+// returns the (final attempt's) submit latency.
+func submitOne(client *http.Client, addr string, body []byte, retries *atomic.Int64) (time.Duration, error) {
+	for {
+		t0 := time.Now()
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		lat := time.Since(t0)
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return lat, nil
+		case http.StatusTooManyRequests:
+			retries.Add(1)
+			time.Sleep(5 * time.Millisecond)
+			continue
+		default:
+			return 0, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(out))
+		}
+	}
+}
+
+// waitComplete polls /metrics until the completed counter reaches want,
+// then cross-checks the scrape against the service's own accounting.
+func waitComplete(client *http.Client, addr string, want int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		samples, err := scrape(client, addr)
+		if err != nil {
+			return err
+		}
+		completed := int64(samples["dollymp_jobs_completed_total"].Value)
+		if completed >= want {
+			if got := int64(samples["dollymp_job_completion_slots_count"].Value); got != completed {
+				return fmt.Errorf("JCT histogram has %d observations, completed counter says %d", got, completed)
+			}
+			if sub := int64(samples["dollymp_jobs_submitted_total"].Value); sub < want {
+				return fmt.Errorf("submitted counter %d < %d jobs sent", sub, want)
+			}
+			fmt.Printf("all %d jobs completed; /metrics parses and counters agree\n", completed)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout: %d of %d jobs completed after %v", completed, want, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// scrape fetches and strictly parses the Prometheus exposition — a
+// parse error fails the run, making every -wait invocation a format
+// regression test.
+func scrape(client *http.Client, addr string) (map[string]metrics.PromSample, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	samples, err := metrics.ParsePromText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("/metrics output invalid: %w", err)
+	}
+	return samples, nil
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dollymp"
 	"dollymp/internal/trace"
@@ -21,8 +22,8 @@ import (
 
 func main() {
 	var (
-		schedName = flag.String("scheduler", "dollymp2", "scheduler: dollymp0..3, yarn-dollymp2, capacity, drf, tetris, carbyne, srpt, svf, random")
-		wl        = flag.String("workload", "mixed", "workload: mixed, pagerank, wordcount, google, terasort, mliter")
+		schedName = flag.String("scheduler", "dollymp2", "scheduler: "+strings.Join(dollymp.SchedulerNames(), ", "))
+		wl        = flag.String("workload", "mixed", "workload: "+strings.Join(dollymp.WorkloadNames(), ", "))
 		jobs      = flag.Int("jobs", 100, "number of jobs")
 		gap       = flag.Float64("gap", 40, "inter-arrival gap in slots (5s each)")
 		fleet     = flag.String("fleet", "testbed30", "fleet: testbed30, or a server count for a large fleet")
@@ -77,20 +78,13 @@ func realMain(schedName, wl string, jobs int, gap float64, fleetSpec string, see
 		return err
 	}
 
-	var fleet *dollymp.Cluster
-	if fleetSpec == "testbed30" {
-		fleet = dollymp.Testbed30()
-	} else {
-		var n int
-		if _, err := fmt.Sscanf(fleetSpec, "%d", &n); err != nil || n <= 0 {
-			return fmt.Errorf("invalid -fleet %q (want testbed30 or a positive server count)", fleetSpec)
-		}
-		fleet = dollymp.LargeFleet(n, seed)
+	fleet, err := dollymp.NewFleet(fleetSpec, seed)
+	if err != nil {
+		return err
 	}
 
 	var work []*workload.Job
-	switch {
-	case traceFile != "":
+	if traceFile != "" {
 		f, err := os.Open(traceFile)
 		if err != nil {
 			return err
@@ -100,28 +94,11 @@ func realMain(schedName, wl string, jobs int, gap float64, fleetSpec string, see
 		if err != nil {
 			return err
 		}
-	case wl == "mixed":
-		work = dollymp.MixedWorkload(jobs, int64(gap), seed)
-	case wl == "google":
-		work = dollymp.GoogleWorkload(jobs, gap, seed)
-	case wl == "pagerank" || wl == "wordcount":
-		work, err = trace.Homogeneous(wl, jobs, 10,
-			trace.Arrival{Kind: trace.FixedInterval, MeanGap: gap}, seed)
+	} else {
+		work, err = dollymp.NewWorkload(wl, jobs, gap, seed)
 		if err != nil {
 			return err
 		}
-	case wl == "terasort":
-		work = make([]*workload.Job, jobs)
-		for i := range work {
-			work[i] = dollymp.TeraSortJob(int64(i), int64(float64(i)*gap), 10, seed+uint64(i))
-		}
-	case wl == "mliter":
-		work = make([]*workload.Job, jobs)
-		for i := range work {
-			work[i] = dollymp.MLIterationJob(int64(i), int64(float64(i)*gap), 3, seed+uint64(i))
-		}
-	default:
-		return fmt.Errorf("unknown -workload %q", wl)
 	}
 
 	res, err := dollymp.Simulate(dollymp.SimConfig{

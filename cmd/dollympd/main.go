@@ -1,0 +1,115 @@
+// Command dollympd runs the DollyMP scheduler as an online service: a
+// live simulation engine stepping in virtual time while HTTP clients
+// submit jobs, poll their lifecycle, and scrape metrics.
+//
+// Usage:
+//
+//	dollympd -addr 127.0.0.1:8080 -scheduler dollymp2 -fleet testbed30
+//	dollympd -addr 127.0.0.1:0 -queue-cap 256 -deterministic
+//
+// The daemon prints "listening on http://HOST:PORT" once the socket is
+// bound (with the resolved port, so -addr :0 works for test harnesses),
+// serves until SIGINT/SIGTERM, then drains: the HTTP listener stops
+// accepting, queued and running jobs run to completion, and the final
+// run summary is printed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dollymp"
+	"dollymp/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		schedName = flag.String("scheduler", "dollymp2", "scheduler: "+strings.Join(dollymp.SchedulerNames(), ", "))
+		fleetSpec = flag.String("fleet", "testbed30", "fleet: testbed30, or a server count for a large fleet")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		queueCap  = flag.Int("queue-cap", service.DefaultQueueCap, "admission queue capacity (full queue => 429)")
+		det       = flag.Bool("deterministic", false, "disable duration noise")
+		drainTO   = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *schedName, *fleetSpec, *seed, *queueCap, *det, *drainTO); err != nil {
+		fmt.Fprintln(os.Stderr, "dollympd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool, drainTO time.Duration) error {
+	policy, err := dollymp.NewScheduler(dollymp.Kind(schedName))
+	if err != nil {
+		return err
+	}
+	fleet, err := dollymp.NewFleet(fleetSpec, seed)
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{
+		Cluster:       fleet,
+		Scheduler:     policy,
+		Seed:          seed,
+		Deterministic: det,
+		QueueCap:      queueCap,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	svc.Start()
+	srv := &http.Server{Handler: svc.Handler()}
+
+	fmt.Printf("dollympd: scheduler=%s fleet=%s queue-cap=%d\n", schedName, fleetSpec, queueCap)
+	fmt.Printf("dollympd: listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("dollympd: %v, draining\n", s)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := svc.Stop(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	c := svc.Counts()
+	res := svc.Result()
+	fmt.Printf("dollympd: drained: %d submitted, %d completed, %d rejected, makespan %d slots\n",
+		c.Submitted, c.Completed, c.Rejected, res.Makespan)
+	if c.Completed > 0 {
+		fmt.Printf("dollympd: mean flowtime %.1f slots, p95 %.0f slots\n",
+			res.MeanFlowtime(), res.FlowtimeECDF().Quantile(0.95))
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ package dollymp
 
 import (
 	"fmt"
+	"strings"
 
 	"dollymp/internal/cluster"
 	"dollymp/internal/core"
@@ -204,7 +205,8 @@ func NewScheduler(kind Kind) (Scheduler, error) {
 	case KindRandom:
 		return random.New(1), nil
 	default:
-		return nil, fmt.Errorf("dollymp: unknown scheduler %q", kind)
+		return nil, fmt.Errorf("dollymp: unknown scheduler %q (valid: %s)",
+			kind, strings.Join(SchedulerNames(), ", "))
 	}
 }
 

@@ -1,0 +1,129 @@
+package service
+
+// The HTTP surface of the daemon: stdlib net/http only, Go 1.22 pattern
+// routing. Request bodies are strict — unknown fields and trailing JSON
+// are 400s, a full admission queue is a 429 — so a malformed or
+// over-eager client fails loudly instead of corrupting a run.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"dollymp/internal/trace"
+	"dollymp/internal/workload"
+)
+
+// MaxBodyBytes bounds a /v1/jobs request body (a trace file with many
+// jobs fits comfortably; a runaway upload does not).
+const MaxBodyBytes = 16 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs     submit one job, or a v1 trace file of jobs
+//	GET  /v1/jobs/{id} one job's lifecycle record
+//	GET  /v1/cluster  cluster + queue snapshot
+//	GET  /healthz     liveness (503 once draining or failed)
+//	GET  /metrics     Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// submitResponse is the POST /v1/jobs reply.
+type submitResponse struct {
+	// IDs are the service-assigned job IDs, in submission order.
+	IDs []workload.JobID `json:"ids"`
+	// Rejected counts jobs refused by queue backpressure (only ever
+	// non-zero on a 429, where a trace body was partially admitted).
+	Rejected int `json:"rejected,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	jobs, err := trace.DecodeSubmission(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	resp := submitResponse{IDs: make([]workload.JobID, 0, len(jobs))}
+	for i, j := range jobs {
+		id, err := s.Submit(j)
+		switch {
+		case err == nil:
+			resp.IDs = append(resp.IDs, id)
+		case errors.Is(err, ErrQueueFull):
+			resp.Rejected = len(jobs) - i
+			writeJSON(w, http.StatusTooManyRequests, resp)
+			return
+		case errors.Is(err, ErrStopped):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+			return
+		default:
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad job id %q", r.PathValue("id"))})
+		return
+	}
+	info, ok := s.Job(workload.JobID(id))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no job %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if err := s.Err(); err != nil {
+		http.Error(w, fmt.Sprintf("scheduling loop failed: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	if s.Snapshot().Draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Queue depth changes between loop publishes; refresh it at read
+	// time so the gauge never goes stale while the engine is idle.
+	s.mQueue.Set(float64(len(s.subCh)))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.Write(w)
+}

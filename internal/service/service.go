@@ -1,0 +1,477 @@
+// Package service turns the batch simulator into a long-running online
+// scheduling daemon: jobs are submitted while the cluster runs, enter a
+// bounded admission queue, and are injected into the engine at the next
+// virtual-slot boundary. The engine — single-use and goroutine-confined
+// by contract — is owned by exactly one scheduling-loop goroutine; every
+// other goroutine (HTTP handlers, submitters) communicates through the
+// admission channel and reads immutable snapshots, so the service is
+// safe under arbitrary concurrent submission without locking the engine.
+//
+// Job lifecycle: queued (accepted into the admission queue) → admitted
+// (injected into the engine, arrival slot stamped) → running (first copy
+// placed) → completed (flowtime/JCT stamped). A full queue rejects
+// submissions with ErrQueueFull, which the HTTP layer maps to 429 —
+// backpressure, not silent dropping.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/metrics"
+	"dollymp/internal/sched"
+	"dollymp/internal/sim"
+	"dollymp/internal/workload"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; the caller should retry later (HTTP 429).
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrStopped is returned by Submit after Stop has begun: the service is
+// draining and accepts no new work.
+var ErrStopped = errors.New("service: stopped")
+
+// Config configures a Service.
+type Config struct {
+	// Cluster is the fleet to schedule onto. The service owns it; no
+	// other goroutine may touch it after New.
+	Cluster *cluster.Cluster
+	// Scheduler is the policy; same contract as sim.Config.
+	Scheduler sched.Scheduler
+	// Seed drives the engine's stochastic draws.
+	Seed uint64
+	// Deterministic disables duration noise (tests, smoke runs).
+	Deterministic bool
+	// QueueCap bounds the admission queue; 0 means DefaultQueueCap.
+	QueueCap int
+	// MaxSlots aborts a runaway virtual clock; 0 means effectively
+	// unbounded (the daemon runs until stopped).
+	MaxSlots int64
+}
+
+// DefaultQueueCap is the admission-queue bound when Config.QueueCap is 0.
+const DefaultQueueCap = 1024
+
+// JobState labels a job's position in the service lifecycle.
+type JobState string
+
+// Lifecycle states, in order.
+const (
+	StateQueued    JobState = "queued"
+	StateAdmitted  JobState = "admitted"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+)
+
+// JobInfo is the externally visible record of one submitted job. Slot
+// fields are -1 until the lifecycle reaches them.
+type JobInfo struct {
+	ID         workload.JobID `json:"id"`
+	Name       string         `json:"name"`
+	App        string         `json:"app"`
+	State      JobState       `json:"state"`
+	Tasks      int            `json:"tasks"`
+	Arrival    int64          `json:"arrival_slot"`
+	FirstStart int64          `json:"first_start_slot"`
+	Finish     int64          `json:"finish_slot"`
+	// Flowtime is finish − arrival in slots: the job's JCT, the
+	// paper's primary metric, stamped at completion.
+	Flowtime int64 `json:"flowtime_slots"`
+}
+
+// Counts summarizes the service's job accounting.
+type Counts struct {
+	Submitted int64 `json:"submitted"`
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// ServerInfo is one server's slice of a cluster snapshot.
+type ServerInfo struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	Rack     int     `json:"rack"`
+	Speed    float64 `json:"speed"`
+	CPUMilli int64   `json:"cpu_milli"`
+	MemMiB   int64   `json:"mem_mib"`
+	UsedCPU  int64   `json:"used_cpu_milli"`
+	UsedMem  int64   `json:"used_mem_mib"`
+	Failed   bool    `json:"failed"`
+}
+
+// ClusterSnapshot is a consistent read of cluster and queue state, taken
+// by the scheduling loop after each step.
+type ClusterSnapshot struct {
+	Scheduler      string       `json:"scheduler"`
+	Clock          int64        `json:"clock_slots"`
+	ActiveJobs     int          `json:"active_jobs"`
+	PendingArrival int          `json:"pending_arrivals"`
+	QueueDepth     int          `json:"queue_depth"`
+	Draining       bool         `json:"draining"`
+	Jobs           Counts       `json:"jobs"`
+	UtilizationCPU float64      `json:"utilization_cpu"`
+	UtilizationMem float64      `json:"utilization_mem"`
+	Servers        []ServerInfo `json:"servers"`
+}
+
+// Service is the online scheduling daemon core. Create with New, start
+// with Start, submit with Submit, stop with Stop.
+type Service struct {
+	cfg   Config
+	eng   *sim.Engine
+	subCh chan *workload.Job
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	started  atomic.Bool
+
+	mu       sync.RWMutex
+	stopping bool // guarded by mu: serializes Submit against drain exit
+	jobs     map[workload.JobID]*JobInfo
+	nextID   workload.JobID
+	counts   Counts
+	clock    int64
+	snap     ClusterSnapshot
+	err      error
+
+	reg        *metrics.Registry
+	mSubmitted *metrics.Counter
+	mAdmitted  *metrics.Counter
+	mCompleted *metrics.Counter
+	mRejected  *metrics.Counter
+	mQueue     *metrics.Gauge
+	mActive    *metrics.Gauge
+	mClock     *metrics.Gauge
+	mUtilCPU   *metrics.Gauge
+	mUtilMem   *metrics.Gauge
+	mJCT       *metrics.Histogram
+}
+
+// New validates the configuration and builds a stopped service; call
+// Start to launch the scheduling loop.
+func New(cfg Config) (*Service, error) {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("service: queue capacity %d < 1", cfg.QueueCap)
+	}
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = int64(1) << 62
+	}
+	s := &Service{
+		cfg:    cfg,
+		subCh:  make(chan *workload.Job, cfg.QueueCap),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+		jobs:   make(map[workload.JobID]*JobInfo),
+		nextID: 1,
+		reg:    metrics.NewRegistry(),
+	}
+	s.mSubmitted = s.reg.Counter("dollymp_jobs_submitted_total", "Jobs accepted into the admission queue.", nil)
+	s.mAdmitted = s.reg.Counter("dollymp_jobs_admitted_total", "Jobs injected into the running engine.", nil)
+	s.mCompleted = s.reg.Counter("dollymp_jobs_completed_total", "Jobs that finished with a stamped JCT.", nil)
+	s.mRejected = s.reg.Counter("dollymp_jobs_rejected_total", "Submissions rejected by queue backpressure.", nil)
+	s.mQueue = s.reg.Gauge("dollymp_queue_depth", "Jobs waiting in the admission queue.", nil)
+	s.mActive = s.reg.Gauge("dollymp_active_jobs", "Arrived, unfinished jobs in the engine.", nil)
+	s.mClock = s.reg.Gauge("dollymp_virtual_clock_slots", "Engine virtual time in slots.", nil)
+	s.mUtilCPU = s.reg.Gauge("dollymp_cluster_utilization", "Fraction of cluster capacity allocated.", metrics.Labels{"resource": "cpu"})
+	s.mUtilMem = s.reg.Gauge("dollymp_cluster_utilization", "Fraction of cluster capacity allocated.", metrics.Labels{"resource": "mem"})
+	s.mJCT = s.reg.Histogram("dollymp_job_completion_slots", "Job completion time (flowtime) in slots.",
+		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}, nil)
+
+	eng, err := sim.New(sim.Config{
+		Cluster:       cfg.Cluster,
+		Scheduler:     cfg.Scheduler,
+		Seed:          cfg.Seed,
+		Deterministic: cfg.Deterministic,
+		MaxSlots:      cfg.MaxSlots,
+		Online:        true,
+		OnJobStart:    s.onJobStart,
+		OnJobComplete: s.onJobComplete,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.snap = ClusterSnapshot{Scheduler: cfg.Scheduler.Name(), Servers: serverInfos(cfg.Cluster)}
+	return s, nil
+}
+
+// Start launches the scheduling loop. Idempotent.
+func (s *Service) Start() {
+	if s.started.CompareAndSwap(false, true) {
+		go s.run()
+	}
+}
+
+// Metrics returns the service's metric registry (for /metrics).
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Submit validates a job, assigns it a fresh ID (any caller-provided ID
+// is overwritten — the service owns the ID space), and enqueues it. It
+// never blocks: a full queue returns ErrQueueFull. The service takes
+// ownership of the job. The stopping check and the enqueue happen under
+// one critical section, so a job accepted by Submit is always seen by
+// the drain — Stop never strands an accepted job.
+func (s *Service) Submit(j *workload.Job) (workload.JobID, error) {
+	if j == nil {
+		return 0, fmt.Errorf("service: nil job")
+	}
+	if err := j.Validate(); err != nil {
+		return 0, fmt.Errorf("service: %w", err)
+	}
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return 0, ErrStopped
+	}
+	id := s.nextID
+	s.nextID++
+	j.ID = id
+	j.Arrival = 0 // clamped to the live clock at injection
+	info := &JobInfo{
+		ID: id, Name: j.Name, App: j.App, State: StateQueued,
+		Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
+	}
+	// The job must be fully stamped and registered before it becomes
+	// visible on the channel: the loop may admit it immediately.
+	s.jobs[id] = info
+	select {
+	case s.subCh <- j: // buffered; never blocks under mu
+	default:
+		delete(s.jobs, id)
+		s.nextID--
+		s.counts.Rejected++
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return 0, ErrQueueFull
+	}
+	s.counts.Submitted++
+	s.mu.Unlock()
+	s.mSubmitted.Inc()
+	return id, nil
+}
+
+// Job returns the lifecycle record for one job.
+func (s *Service) Job(id workload.JobID) (JobInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return *info, true
+}
+
+// Counts returns the current job accounting.
+func (s *Service) Counts() Counts {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counts
+}
+
+// Snapshot returns the most recent cluster/queue snapshot. The queue
+// depth and draining flag are read live; everything else is the state
+// the loop published after its last step.
+func (s *Service) Snapshot() ClusterSnapshot {
+	s.mu.RLock()
+	snap := s.snap
+	snap.Jobs = s.counts
+	snap.Draining = s.stopping
+	s.mu.RUnlock()
+	snap.QueueDepth = len(s.subCh)
+	return snap
+}
+
+// Err returns the scheduling loop's terminal error, if any.
+func (s *Service) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.err
+}
+
+// Stop begins a graceful drain: no new submissions are accepted, queued
+// jobs are still admitted, and the loop runs until every in-flight job
+// completes (or ctx expires, in which case the loop is left running and
+// the context error returned).
+func (s *Service) Stop(ctx context.Context) error {
+	s.Start() // a never-started service must still drain trivially
+	s.mu.Lock()
+	s.stopping = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	select {
+	case <-s.doneCh:
+		return s.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result finalizes and returns the engine's accumulated metrics. Only
+// valid after Stop has returned.
+func (s *Service) Result() *sim.Result {
+	select {
+	case <-s.doneCh:
+		return s.eng.Finalize()
+	default:
+		panic("service: Result before Stop completed")
+	}
+}
+
+// run is the single-writer scheduling loop: the only goroutine that may
+// touch the engine or the cluster after Start.
+func (s *Service) run() {
+	defer close(s.doneCh)
+	for {
+		// Admit everything waiting, so submissions land at the next
+		// slot boundary rather than one event later.
+		for {
+			select {
+			case j := <-s.subCh:
+				s.admit(j)
+				continue
+			default:
+			}
+			break
+		}
+		if s.Err() != nil {
+			return
+		}
+		if s.eng.Idle() {
+			s.publish()
+			// The exit decision holds the lock Submit writes under, so
+			// every accepted job is either visible in the queue here or
+			// its Submit ran after stopping was set and was rejected.
+			s.mu.RLock()
+			stopping, empty := s.stopping, len(s.subCh) == 0
+			s.mu.RUnlock()
+			if stopping {
+				if empty {
+					return // drained: queue empty, engine idle
+				}
+				continue // queue refilled before stop; drain it
+			}
+			// Nothing to simulate: block until work or stop arrives.
+			select {
+			case j := <-s.subCh:
+				s.admit(j)
+			case <-s.stopCh:
+			}
+			continue
+		}
+		if _, err := s.eng.Step(); err != nil {
+			s.fail(err)
+			return
+		}
+		s.publish()
+	}
+}
+
+func (s *Service) admit(j *workload.Job) {
+	arr, err := s.eng.InjectJob(j)
+	if err != nil {
+		// Submit validated the job and the ID space is service-owned,
+		// so injection cannot fail; treat it as loop-fatal if it does.
+		s.fail(fmt.Errorf("service: admit job %d: %w", j.ID, err))
+		return
+	}
+	s.mu.Lock()
+	if info := s.jobs[j.ID]; info != nil {
+		info.State = StateAdmitted
+		info.Arrival = arr
+	}
+	s.counts.Admitted++
+	s.mu.Unlock()
+	s.mAdmitted.Inc()
+}
+
+// onJobStart runs inside Engine.Step, on the loop goroutine.
+func (s *Service) onJobStart(id workload.JobID, slot int64) {
+	s.mu.Lock()
+	if info := s.jobs[id]; info != nil {
+		info.State = StateRunning
+		info.FirstStart = slot
+	}
+	s.mu.Unlock()
+}
+
+// onJobComplete runs inside Engine.Step, on the loop goroutine.
+func (s *Service) onJobComplete(m sim.JobMetrics) {
+	s.mu.Lock()
+	if info := s.jobs[m.ID]; info != nil {
+		info.State = StateCompleted
+		info.Finish = m.Finish
+		info.Flowtime = m.Flowtime
+	}
+	s.counts.Completed++
+	s.mu.Unlock()
+	s.mCompleted.Inc()
+	s.mJCT.Observe(float64(m.Flowtime))
+}
+
+// publish refreshes the shared snapshot and gauges from engine state.
+// Runs on the loop goroutine, which is the only reader of the cluster.
+func (s *Service) publish() {
+	clock := s.eng.Clock()
+	used, total := s.cfg.Cluster.TotalUsed(), s.cfg.Cluster.Total()
+	snap := ClusterSnapshot{
+		Scheduler:      s.cfg.Scheduler.Name(),
+		Clock:          clock,
+		ActiveJobs:     s.eng.ActiveJobs(),
+		PendingArrival: s.eng.PendingArrivals(),
+		Servers:        serverInfos(s.cfg.Cluster),
+	}
+	if total.CPUMilli > 0 {
+		snap.UtilizationCPU = float64(used.CPUMilli) / float64(total.CPUMilli)
+	}
+	if total.MemMiB > 0 {
+		snap.UtilizationMem = float64(used.MemMiB) / float64(total.MemMiB)
+	}
+	s.mu.Lock()
+	if clock < s.clock {
+		s.mu.Unlock()
+		s.fail(fmt.Errorf("service: virtual clock moved backwards: %d -> %d", s.clock, clock))
+		return
+	}
+	s.clock = clock
+	s.snap = snap
+	s.mu.Unlock()
+
+	s.mClock.Set(float64(clock))
+	s.mActive.Set(float64(snap.ActiveJobs))
+	s.mQueue.Set(float64(len(s.subCh)))
+	s.mUtilCPU.Set(snap.UtilizationCPU)
+	s.mUtilMem.Set(snap.UtilizationMem)
+}
+
+func (s *Service) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.stopping = true
+	s.mu.Unlock()
+}
+
+func serverInfos(c *cluster.Cluster) []ServerInfo {
+	out := make([]ServerInfo, 0, c.Len())
+	for _, srv := range c.Servers() {
+		used := srv.Used()
+		out = append(out, ServerInfo{
+			ID: int(srv.ID), Name: srv.Name, Rack: srv.Rack, Speed: srv.Speed,
+			CPUMilli: srv.Capacity.CPUMilli, MemMiB: srv.Capacity.MemMiB,
+			UsedCPU: used.CPUMilli, UsedMem: used.MemMiB,
+			Failed: srv.Failed(),
+		})
+	}
+	return out
+}

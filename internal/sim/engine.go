@@ -65,6 +65,19 @@ type Config struct {
 	// RecordTimeline samples cluster state (active jobs, running
 	// copies, utilization) at every clock advance into Result.Timeline.
 	RecordTimeline bool
+	// Online relaxes the non-empty-workload requirement and enables
+	// InjectJob, for callers that drive the engine incrementally with
+	// Start/Step while jobs stream in (see online.go). Batch runs via
+	// Run are unaffected.
+	Online bool
+	// OnJobStart, if set, is called when a job's first copy is placed,
+	// with the job ID and the launch slot. Called from the engine's
+	// goroutine, synchronously inside Step.
+	OnJobStart func(workload.JobID, int64)
+	// OnJobComplete, if set, is called when a job finishes, with its
+	// final metrics (flowtime stamped). Called from the engine's
+	// goroutine, synchronously inside Step.
+	OnJobComplete func(JobMetrics)
 }
 
 func (c *Config) defaults() {
@@ -149,6 +162,7 @@ type Engine struct {
 	utilCPU    float64 // ∫ used dt, for average utilization
 	utilMem    float64
 	lastSample int64
+	started    bool
 }
 
 // New validates the configuration and builds an engine.
@@ -160,7 +174,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: nil scheduler")
 	}
-	if len(cfg.Jobs) == 0 {
+	if len(cfg.Jobs) == 0 && !cfg.Online {
 		return nil, fmt.Errorf("sim: no jobs")
 	}
 	seen := make(map[workload.JobID]bool, len(cfg.Jobs))
@@ -218,47 +232,62 @@ func New(cfg Config) (*Engine, error) {
 // Run executes the simulation to completion and returns the collected
 // metrics. The configured cluster is Reset before and left dirty after.
 func (e *Engine) Run() (*Result, error) {
-	e.cfg.Cluster.Reset()
-	e.res.Scheduler = e.cfg.Scheduler.Name()
+	e.Start()
 	for {
-		if len(e.active) == 0 && e.next >= len(e.sorted) {
-			break // every job finished
-		}
-		t, ok := e.nextEventTime()
-		if !ok {
-			return nil, fmt.Errorf("sim: stuck at slot %d: %d active jobs, nothing running, no arrivals pending (a task demand may exceed every server)", e.clock, len(e.active))
-		}
-		if t > e.cfg.MaxSlots {
-			return nil, fmt.Errorf("sim: horizon %d slots exceeded (clock %d)", e.cfg.MaxSlots, t)
-		}
-		e.advanceTo(t)
-		// Completions first: a copy finishing at t beats a failure at t.
-		if err := e.processCompletions(); err != nil {
-			return nil, err
-		}
-		if err := e.processEvents(); err != nil {
-			return nil, err
-		}
-		arrived, err := e.processArrivals()
+		idle, err := e.Step()
 		if err != nil {
 			return nil, err
 		}
-		for _, js := range arrived {
-			if aa, ok := e.cfg.Scheduler.(sched.ArrivalAware); ok {
-				aa.OnJobArrival(e, js)
-			}
-		}
-		if err := e.scheduleLoop(); err != nil {
-			return nil, err
-		}
-		if e.cfg.Paranoid {
-			if err := e.checkInvariants(); err != nil {
-				return nil, err
-			}
+		if idle {
+			break // every job finished
 		}
 	}
-	e.finalizeResult()
-	return &e.res, nil
+	return e.Finalize(), nil
+}
+
+// Step executes one event iteration: advance the clock to the next
+// arrival/completion/injection, process it, and let the scheduler place
+// copies. It returns idle=true when no jobs are active and no arrivals
+// are pending — the end of a batch run, or a quiescent point an online
+// caller can resume from by injecting more jobs (see online.go).
+func (e *Engine) Step() (idle bool, err error) {
+	e.Start()
+	if len(e.active) == 0 && e.next >= len(e.sorted) {
+		return true, nil
+	}
+	t, ok := e.nextEventTime()
+	if !ok {
+		return false, fmt.Errorf("sim: stuck at slot %d: %d active jobs, nothing running, no arrivals pending (a task demand may exceed every server)", e.clock, len(e.active))
+	}
+	if t > e.cfg.MaxSlots {
+		return false, fmt.Errorf("sim: horizon %d slots exceeded (clock %d)", e.cfg.MaxSlots, t)
+	}
+	e.advanceTo(t)
+	// Completions first: a copy finishing at t beats a failure at t.
+	if err := e.processCompletions(); err != nil {
+		return false, err
+	}
+	if err := e.processEvents(); err != nil {
+		return false, err
+	}
+	arrived, err := e.processArrivals()
+	if err != nil {
+		return false, err
+	}
+	for _, js := range arrived {
+		if aa, ok := e.cfg.Scheduler.(sched.ArrivalAware); ok {
+			aa.OnJobArrival(e, js)
+		}
+	}
+	if err := e.scheduleLoop(); err != nil {
+		return false, err
+	}
+	if e.cfg.Paranoid {
+		if err := e.checkInvariants(); err != nil {
+			return false, err
+		}
+	}
+	return len(e.active) == 0 && e.next >= len(e.sorted), nil
 }
 
 // nextEventTime returns the next slot at which anything can happen.
@@ -508,6 +537,9 @@ func (e *Engine) applyPlacement(p sched.Placement) error {
 	}
 	if js.FirstStart < 0 {
 		js.FirstStart = e.clock
+		if e.cfg.OnJobStart != nil {
+			e.cfg.OnJobStart(js.Job.ID, e.clock)
+		}
 	}
 	if e.cfg.RecordTrace {
 		e.res.Trace = append(e.res.Trace, TraceEvent{

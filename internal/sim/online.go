@@ -1,0 +1,92 @@
+package sim
+
+// Online driving of the engine. A batch run hands the full workload to
+// New and calls Run; an online caller (internal/service) constructs the
+// engine with Config.Online, then alternates InjectJob and Step from a
+// single goroutine, letting jobs arrive while earlier ones execute. The
+// engine stays a pure function of its inputs: injection only appends to
+// the not-yet-arrived suffix of the arrival order, so a run that injects
+// each job right before its arrival slot is indistinguishable from a
+// batch run handed the same jobs up front.
+
+import (
+	"fmt"
+	"sort"
+
+	"dollymp/internal/workload"
+)
+
+// Start prepares the engine for stepping: resets the cluster ledger and
+// stamps the scheduler name. Idempotent; Run and Step call it implicitly.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.cfg.Cluster.Reset()
+	e.res.Scheduler = e.cfg.Scheduler.Name()
+}
+
+// InjectJob adds one job to a (possibly running) engine. The job is
+// validated, its ID must be unused, and its arrival is clamped forward to
+// the current clock so it arrives at the next slot boundary — the engine
+// never rewrites history. The effective arrival slot is returned. The
+// engine takes ownership of the job (its Arrival may be rewritten).
+// Requires Config.Online; call from the engine's goroutine only.
+func (e *Engine) InjectJob(j *workload.Job) (int64, error) {
+	if !e.cfg.Online {
+		return 0, fmt.Errorf("sim: InjectJob requires Config.Online")
+	}
+	if err := j.Validate(); err != nil {
+		return 0, fmt.Errorf("sim: inject: %w", err)
+	}
+	if _, dup := e.states[j.ID]; dup {
+		return 0, fmt.Errorf("sim: inject: duplicate job ID %d", j.ID)
+	}
+	if j.Arrival < e.clock {
+		j.Arrival = e.clock
+	}
+	js := workload.NewJobState(j)
+	e.states[j.ID] = js
+	// Insert into the pending suffix of sorted, keeping (arrival, ID)
+	// order. Clamping guarantees the insertion point is ≥ e.next.
+	i := e.next + sort.Search(len(e.sorted)-e.next, func(k int) bool {
+		s := e.sorted[e.next+k].Job
+		if s.Arrival != j.Arrival {
+			return s.Arrival > j.Arrival
+		}
+		return s.ID > j.ID
+	})
+	e.sorted = append(e.sorted, nil)
+	copy(e.sorted[i+1:], e.sorted[i:])
+	e.sorted[i] = js
+	return j.Arrival, nil
+}
+
+// Clock returns the current virtual time in slots.
+func (e *Engine) Clock() int64 { return e.clock }
+
+// Idle reports whether the engine has nothing to do: no active jobs and
+// no pending arrivals. An idle online engine resumes when the next job
+// is injected.
+func (e *Engine) Idle() bool {
+	return len(e.active) == 0 && e.next >= len(e.sorted)
+}
+
+// ActiveJobs returns the number of arrived, unfinished jobs.
+func (e *Engine) ActiveJobs() int { return len(e.active) }
+
+// PendingArrivals returns the number of injected jobs that have not yet
+// arrived.
+func (e *Engine) PendingArrivals() int { return len(e.sorted) - e.next }
+
+// CompletedJobs returns the number of jobs that have finished so far.
+func (e *Engine) CompletedJobs() int { return len(e.res.Jobs) }
+
+// Finalize computes the run-level aggregates (average utilization) and
+// returns the result collected so far. Safe to call repeatedly; Run
+// calls it on completion, online callers at shutdown.
+func (e *Engine) Finalize() *Result {
+	e.finalizeResult()
+	return &e.res
+}

@@ -113,6 +113,9 @@ func (e *Engine) recordJob(js *workload.JobState) {
 	if js.Finish > e.res.Makespan {
 		e.res.Makespan = js.Finish
 	}
+	if e.cfg.OnJobComplete != nil {
+		e.cfg.OnJobComplete(e.res.Jobs[len(e.res.Jobs)-1])
+	}
 }
 
 func (e *Engine) finalizeResult() {

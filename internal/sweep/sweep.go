@@ -96,7 +96,7 @@ type CellResult struct {
 
 // Aggregate is the across-seed summary for one (scheduler, load) pair.
 type Aggregate struct {
-	Scheduler string `json:"scheduler"`
+	Scheduler string  `json:"scheduler"`
 	Load      float64 `json:"load"`
 	Seeds     int     `json:"seeds"`
 

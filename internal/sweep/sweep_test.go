@@ -61,7 +61,7 @@ func (lastFit) Schedule(ctx sched.Context) []sched.Placement {
 // idle never places anything, so any workload gets the engine stuck.
 type idle struct{}
 
-func (idle) Name() string                          { return "idle" }
+func (idle) Name() string                             { return "idle" }
 func (idle) Schedule(sched.Context) []sched.Placement { return nil }
 
 func testSpec(workers int) Spec {

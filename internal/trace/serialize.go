@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,10 +26,13 @@ func Write(w io.Writer, jobs []*workload.Job) error {
 	return enc.Encode(File{Version: FormatVersion, Jobs: jobs})
 }
 
-// Read parses a trace file and validates every job.
+// Read parses a trace file and validates every job. Decoding is strict:
+// unknown fields and trailing JSON documents are errors, so a mangled or
+// wrong-schema upload (e.g. to a service's POST /v1/jobs) fails loudly
+// instead of being silently half-accepted.
 func Read(r io.Reader) ([]*workload.Job, error) {
 	var f File
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
+	if err := decodeStrict(r, &f); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
 	}
 	if f.Version != FormatVersion {
@@ -40,4 +44,51 @@ func Read(r io.Reader) ([]*workload.Job, error) {
 		}
 	}
 	return f.Jobs, nil
+}
+
+// DecodeJob strictly parses one job object (no envelope) and validates
+// it — the single-job body format of the service API.
+func DecodeJob(r io.Reader) (*workload.Job, error) {
+	var j workload.Job
+	if err := decodeStrict(r, &j); err != nil {
+		return nil, fmt.Errorf("trace: decode job: %w", err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &j, nil
+}
+
+// DecodeSubmission parses a POST /v1/jobs body, which is either a v1
+// trace file (recognized by its "version" envelope) or a single job
+// object. Both forms decode strictly.
+func DecodeSubmission(body []byte) ([]*workload.Job, error) {
+	var probe struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return nil, fmt.Errorf("trace: body is not a JSON object: %w", err)
+	}
+	if probe.Version != nil {
+		return Read(bytes.NewReader(body))
+	}
+	j, err := DecodeJob(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	return []*workload.Job{j}, nil
+}
+
+// decodeStrict decodes exactly one JSON value into v, rejecting unknown
+// fields and any trailing non-whitespace data.
+func decodeStrict(r io.Reader, v interface{}) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
 }

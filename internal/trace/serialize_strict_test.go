@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+func roundTripBody(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, []*workload.Job{WordCount(1, 0, 1, stats.NewRNG(1))}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Regression: Read used to silently accept unknown fields and trailing
+// JSON documents; both must now fail loudly.
+func TestReadRejectsUnknownFields(t *testing.T) {
+	body := roundTripBody(t)
+	if _, err := Read(bytes.NewReader(body)); err != nil {
+		t.Fatalf("well-formed trace must parse: %v", err)
+	}
+
+	withUnknown := bytes.Replace(body, []byte(`"version"`), []byte(`"bogus_field": 1, "version"`), 1)
+	if _, err := Read(bytes.NewReader(withUnknown)); err == nil || !strings.Contains(err.Error(), "bogus_field") {
+		t.Fatalf("unknown top-level field must be rejected, got %v", err)
+	}
+
+	nested := bytes.Replace(body, []byte(`"Name": "map"`), []byte(`"Name": "map", "Oops": true`), 1)
+	if !bytes.Contains(nested, []byte("Oops")) {
+		t.Fatal("test fixture did not inject the unknown field")
+	}
+	if _, err := Read(bytes.NewReader(nested)); err == nil {
+		t.Fatal("unknown nested field must be rejected")
+	}
+}
+
+func TestReadRejectsTrailingData(t *testing.T) {
+	body := roundTripBody(t)
+	for name, trailer := range map[string]string{
+		"second document": `{"version": 1, "jobs": []}`,
+		"stray token":     `42`,
+		"garbage":         `trailing`,
+	} {
+		if _, err := Read(bytes.NewReader(append(append([]byte{}, body...), trailer...))); err == nil {
+			t.Errorf("%s: trailing data must be rejected", name)
+		}
+	}
+	// Trailing whitespace stays legal (Write itself emits a final newline).
+	if _, err := Read(bytes.NewReader(append(append([]byte{}, body...), " \n\t"...))); err != nil {
+		t.Errorf("trailing whitespace must remain accepted: %v", err)
+	}
+}
+
+func TestDecodeJobStrict(t *testing.T) {
+	j := WordCount(7, 0, 1, stats.NewRNG(1))
+	body, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJob(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || len(got.Phases) != len(j.Phases) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := DecodeJob(strings.NewReader(`{"ID": 1, "Mystery": 2}`)); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+	if _, err := DecodeJob(strings.NewReader(`{"ID": 1}`)); err == nil {
+		t.Fatal("invalid job (no phases) must be rejected")
+	}
+}
+
+func TestDecodeSubmissionDispatch(t *testing.T) {
+	// Trace-file bodies fan out to every contained job.
+	jobs, err := DecodeSubmission(roundTripBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("trace body: %d jobs", len(jobs))
+	}
+	// Single-job bodies wrap into a one-element batch.
+	body, err := json.Marshal(WordCount(3, 0, 1, stats.NewRNG(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = DecodeSubmission(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].App != "wordcount" {
+		t.Fatalf("single-job body: %+v", jobs)
+	}
+	if _, err := DecodeSubmission([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON body must be rejected")
+	}
+	if _, err := DecodeSubmission([]byte(`{"version": 99, "jobs": []}`)); err == nil {
+		t.Fatal("unsupported version must be rejected")
+	}
+}
