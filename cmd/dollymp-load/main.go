@@ -2,12 +2,21 @@
 // reports submission throughput and latency percentiles. It is both a
 // load generator and the e2e smoke check: with -wait it polls the
 // daemon until every submitted job completes and certifies the /metrics
-// endpoint parses as Prometheus text with counters that agree.
+// endpoint parses as Prometheus text with counters that agree, and with
+// -probe it exercises the /v1 error surface and asserts every failure
+// is the machine-readable envelope {"error":{"code","message"}}.
+//
+// Retry policy: the generator branches on the envelope's error code,
+// not the HTTP status line. "queue_full" is the only retryable code;
+// any other code — including 5xx-carried "draining" and "internal" —
+// aborts the run with the code surfaced in the error.
 //
 // Usage:
 //
 //	dollymp-load -addr http://127.0.0.1:8080 -n 500 -c 8 -qps 200
 //	dollymp-load -addr http://127.0.0.1:8080 -n 50 -c 4 -wait
+//	dollymp-load -addr http://127.0.0.1:8080 -n 5000 -c 8 -batch 32 -wait
+//	dollymp-load -addr http://127.0.0.1:8080 -probe -expect-shards 4
 package main
 
 import (
@@ -25,7 +34,10 @@ import (
 
 	"dollymp"
 	"dollymp/internal/metrics"
+	"dollymp/internal/service"
 	"dollymp/internal/stats"
+	"dollymp/internal/trace"
+	"dollymp/internal/workload"
 )
 
 func main() {
@@ -36,34 +48,50 @@ func main() {
 		qps     = flag.Float64("qps", 0, "target aggregate submission rate (0 = closed loop)")
 		wl      = flag.String("workload", "mixed", "workload: "+strings.Join(dollymp.WorkloadNames(), ", "))
 		seed    = flag.Uint64("seed", 42, "workload seed")
+		batch   = flag.Int("batch", 1, "jobs per POST (amortizes HTTP overhead; a batch is one trace-file body)")
 		wait    = flag.Bool("wait", false, "after submitting, wait for all jobs to complete and verify /metrics")
 		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline for -wait")
+		probe   = flag.Bool("probe", false, "probe the /v1 error surface (envelope shape, codes) instead of generating load")
+		shards  = flag.Int("expect-shards", 0, "with -probe: assert /v1/shards reports exactly this many shards (0 = skip)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *wl, *n, *c, *qps, *seed, *wait, *timeout); err != nil {
+	client := &http.Client{Timeout: 30 * time.Second}
+	var err error
+	if *probe {
+		err = runProbe(client, *addr, *shards)
+	} else {
+		err = run(client, *addr, *wl, *n, *c, *batch, *qps, *seed, *wait, *timeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dollymp-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, wl string, n, c int, qps float64, seed uint64, wait bool, timeout time.Duration) error {
-	if n < 1 || c < 1 {
-		return fmt.Errorf("-n and -c must be positive")
+func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, seed uint64, wait bool, timeout time.Duration) error {
+	if n < 1 || c < 1 || batch < 1 {
+		return fmt.Errorf("-n, -c and -batch must be positive")
 	}
 	jobs, err := dollymp.NewWorkload(wl, n, 0, seed)
 	if err != nil {
 		return err
 	}
-	bodies := make([][]byte, n)
-	for i, j := range jobs {
+	for _, j := range jobs {
 		// The daemon assigns IDs and arrival slots; strip ours so the
 		// strict decoder sees a clean submission.
 		j.ID = 0
 		j.Arrival = 0
-		if bodies[i], err = json.Marshal(j); err != nil {
-			return err
+	}
+	// One request per batch: a single job posts as raw JSON, a batch > 1
+	// as a trace-file submission (the endpoint accepts both).
+	var batches [][]*workload.Job
+	for at := 0; at < n; at += batch {
+		end := at + batch
+		if end > n {
+			end = n
 		}
+		batches = append(batches, jobs[at:end])
 	}
 
 	// A global ticker paces the aggregate rate; closed loop if qps == 0.
@@ -81,7 +109,6 @@ func run(addr, wl string, n, c int, qps float64, seed uint64, wait bool, timeout
 		mu        sync.Mutex
 		latencies []float64
 	)
-	client := &http.Client{Timeout: 30 * time.Second}
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, c)
@@ -91,18 +118,18 @@ func run(addr, wl string, n, c int, qps float64, seed uint64, wait bool, timeout
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= len(batches) {
 					return
 				}
 				if tick != nil {
 					<-tick
 				}
-				lat, err := submitOne(client, addr, bodies[i], &retries)
+				lat, err := submitBatch(client, addr, batches[i], &retries)
 				if err != nil {
-					errCh <- fmt.Errorf("job %d: %w", i, err)
+					errCh <- fmt.Errorf("batch %d: %w", i, err)
 					return
 				}
-				submitted.Add(1)
+				submitted.Add(int64(len(batches[i])))
 				mu.Lock()
 				latencies = append(latencies, lat.Seconds()*1e3)
 				mu.Unlock()
@@ -127,13 +154,49 @@ func run(addr, wl string, n, c int, qps float64, seed uint64, wait bool, timeout
 	if !wait {
 		return nil
 	}
-	return waitComplete(client, addr, int64(n), timeout)
+	if err := waitComplete(client, addr, int64(n), timeout); err != nil {
+		return err
+	}
+	e2e := time.Since(start)
+	fmt.Printf("end-to-end: %d jobs completed in %v (%.1f jobs/s)\n",
+		n, e2e.Round(time.Millisecond), float64(n)/e2e.Seconds())
+	return nil
 }
 
-// submitOne POSTs one job body, retrying on 429 backpressure, and
-// returns the (final attempt's) submit latency.
-func submitOne(client *http.Client, addr string, body []byte, retries *atomic.Int64) (time.Duration, error) {
+// decodeEnvelope extracts the error envelope from a non-2xx body. The
+// second return reports whether the body actually was envelope-shaped.
+func decodeEnvelope(body []byte) (service.ErrorResponse, bool) {
+	var er service.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" {
+		return er, false
+	}
+	return er, true
+}
+
+// retryable reports whether a failed submission should be retried:
+// only the envelope code "queue_full" is retryable. A bare 429 from a
+// pre-envelope daemon gets the same treatment so the generator stays
+// usable against old builds; every other status or code is fatal.
+func retryable(status int, er service.ErrorResponse, ok bool) bool {
+	if ok {
+		return er.Error.Code == service.CodeQueueFull
+	}
+	return status == http.StatusTooManyRequests
+}
+
+// submitBatch POSTs a batch of jobs, retrying on queue_full
+// backpressure, and returns the (final attempt's) submit latency.
+// A partially accepted batch (429 mid-trace) resubmits only the
+// rejected tail — the envelope's accepted IDs say how far the daemon
+// got, and resubmitting those jobs would duplicate them. Fatal errors
+// carry the envelope's machine-readable code, not just the status
+// line.
+func submitBatch(client *http.Client, addr string, jobs []*workload.Job, retries *atomic.Int64) (time.Duration, error) {
 	for {
+		body, err := encodeBatch(jobs)
+		if err != nil {
+			return 0, err
+		}
 		t0 := time.Now()
 		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -142,21 +205,52 @@ func submitOne(client *http.Client, addr string, body []byte, retries *atomic.In
 		lat := time.Since(t0)
 		out, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusAccepted:
+		if resp.StatusCode == http.StatusAccepted {
 			return lat, nil
-		case http.StatusTooManyRequests:
+		}
+		er, ok := decodeEnvelope(out)
+		if retryable(resp.StatusCode, er, ok) {
+			if n := len(er.IDs); n > 0 && n < len(jobs) {
+				jobs = jobs[n:]
+			}
 			retries.Add(1)
 			time.Sleep(5 * time.Millisecond)
 			continue
-		default:
-			return 0, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(out))
 		}
+		if ok {
+			return 0, fmt.Errorf("status %d, code %s: %s", resp.StatusCode, er.Error.Code, er.Error.Message)
+		}
+		return 0, fmt.Errorf("status %d (no error envelope): %s", resp.StatusCode, bytes.TrimSpace(out))
 	}
+}
+
+// encodeBatch renders a submission body: raw job JSON for one job, a
+// v1 trace file for several.
+func encodeBatch(jobs []*workload.Job) ([]byte, error) {
+	if len(jobs) == 1 {
+		return json.Marshal(jobs[0])
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, jobs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// sumByName collapses a labelled scrape into per-family totals: a
+// sharded daemon exposes dollymp_jobs_completed_total{shard="k"} per
+// shard, and the load generator cares about the deployment-wide sum.
+func sumByName(samples map[string]metrics.PromSample) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range samples {
+		out[s.Name] += s.Value
+	}
+	return out
 }
 
 // waitComplete polls /metrics until the completed counter reaches want,
 // then cross-checks the scrape against the service's own accounting.
+// Counters are summed across shard labels.
 func waitComplete(client *http.Client, addr string, want int64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -164,12 +258,13 @@ func waitComplete(client *http.Client, addr string, want int64, timeout time.Dur
 		if err != nil {
 			return err
 		}
-		completed := int64(samples["dollymp_jobs_completed_total"].Value)
+		sums := sumByName(samples)
+		completed := int64(sums["dollymp_jobs_completed_total"])
 		if completed >= want {
-			if got := int64(samples["dollymp_job_completion_slots_count"].Value); got != completed {
+			if got := int64(sums["dollymp_job_completion_slots_count"]); got != completed {
 				return fmt.Errorf("JCT histogram has %d observations, completed counter says %d", got, completed)
 			}
-			if sub := int64(samples["dollymp_jobs_submitted_total"].Value); sub < want {
+			if sub := int64(sums["dollymp_jobs_submitted_total"]); sub < want {
 				return fmt.Errorf("submitted counter %d < %d jobs sent", sub, want)
 			}
 			fmt.Printf("all %d jobs completed; /metrics parses and counters agree\n", completed)
@@ -199,4 +294,96 @@ func scrape(client *http.Client, addr string) (map[string]metrics.PromSample, er
 		return nil, fmt.Errorf("/metrics output invalid: %w", err)
 	}
 	return samples, nil
+}
+
+// runProbe exercises the daemon's error surface: every failure must be
+// the uniform envelope with the right machine-readable code. With
+// expectShards > 0 it also asserts the /v1/shards topology. This is
+// what scripts/smoke.sh runs instead of hand-rolled curl checks.
+func runProbe(client *http.Client, addr string, expectShards int) error {
+	expectEnvelope := func(desc string, resp *http.Response, err error, wantStatus int, wantCode string) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", desc, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			return fmt.Errorf("%s: status %d, want %d (%s)", desc, resp.StatusCode, wantStatus, bytes.TrimSpace(out))
+		}
+		er, ok := decodeEnvelope(out)
+		if !ok {
+			return fmt.Errorf("%s: response is not envelope-shaped: %s", desc, bytes.TrimSpace(out))
+		}
+		if er.Error.Code != wantCode {
+			return fmt.Errorf("%s: code %q, want %q", desc, er.Error.Code, wantCode)
+		}
+		if er.Error.Message == "" {
+			return fmt.Errorf("%s: envelope without message", desc)
+		}
+		return nil
+	}
+
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", strings.NewReader("not json"))
+	if err := expectEnvelope("malformed submit", resp, err, http.StatusBadRequest, service.CodeInvalidArgument); err != nil {
+		return err
+	}
+	resp, err = client.Get(addr + "/v1/jobs/999999999")
+	if err := expectEnvelope("missing job", resp, err, http.StatusNotFound, service.CodeNotFound); err != nil {
+		return err
+	}
+	resp, err = client.Get(addr + "/v1/jobs/xyzzy")
+	if err := expectEnvelope("malformed job id", resp, err, http.StatusBadRequest, service.CodeInvalidArgument); err != nil {
+		return err
+	}
+	resp, err = client.Get(addr + "/v1/jobs?state=bogus")
+	if err := expectEnvelope("bad state filter", resp, err, http.StatusBadRequest, service.CodeInvalidArgument); err != nil {
+		return err
+	}
+	resp, err = client.Get(addr + "/v2/nope")
+	if err := expectEnvelope("unknown route", resp, err, http.StatusNotFound, service.CodeNotFound); err != nil {
+		return err
+	}
+
+	// The happy-path list must paginate.
+	resp, err = client.Get(addr + "/v1/jobs?limit=1")
+	if err != nil {
+		return fmt.Errorf("list jobs: %w", err)
+	}
+	var list struct {
+		Jobs  []json.RawMessage `json:"jobs"`
+		Total int               `json:"total"`
+		Limit int               `json:"limit"`
+	}
+	lerr := json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if lerr != nil || resp.StatusCode != http.StatusOK || list.Limit != 1 {
+		return fmt.Errorf("list jobs: status %d, limit %d, err %v", resp.StatusCode, list.Limit, lerr)
+	}
+
+	resp, err = client.Get(addr + "/v1/shards")
+	if err != nil {
+		return fmt.Errorf("shards: %w", err)
+	}
+	var sr struct {
+		Shards []service.ShardStatus `json:"shards"`
+	}
+	serr := json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if serr != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shards: status %d, err %v", resp.StatusCode, serr)
+	}
+	if len(sr.Shards) == 0 {
+		return fmt.Errorf("shards: empty topology")
+	}
+	if expectShards > 0 && len(sr.Shards) != expectShards {
+		return fmt.Errorf("shards: daemon reports %d, want %d", len(sr.Shards), expectShards)
+	}
+	for i, st := range sr.Shards {
+		if st.Shard != i {
+			return fmt.Errorf("shards: entry %d reports index %d", i, st.Shard)
+		}
+	}
+
+	fmt.Printf("probe ok: error envelope verified on 5 surfaces, %d shard(s) reported\n", len(sr.Shards))
+	return nil
 }

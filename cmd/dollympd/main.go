@@ -1,17 +1,23 @@
-// Command dollympd runs the DollyMP scheduler as an online service: a
-// live simulation engine stepping in virtual time while HTTP clients
-// submit jobs, poll their lifecycle, and scrape metrics.
+// Command dollympd runs the DollyMP scheduler as an online service: one
+// or more live simulation engines stepping in virtual time while HTTP
+// clients submit jobs, poll their lifecycle, and scrape metrics.
 //
 // Usage:
 //
 //	dollympd -addr 127.0.0.1:8080 -scheduler dollymp2 -fleet testbed30
 //	dollympd -addr 127.0.0.1:0 -queue-cap 256 -deterministic
+//	dollympd -shards 4                     # 4 partitions, p2c routing
+//	dollympd -shards 4 -route single       # deterministic fallback
+//
+// With -shards N the fleet is partitioned into N disjoint sub-fleets,
+// each with its own scheduling loop, behind a load-aware router; at the
+// default N=1 the daemon behaves exactly like an unsharded service.
 //
 // The daemon prints "listening on http://HOST:PORT" once the socket is
 // bound (with the resolved port, so -addr :0 works for test harnesses),
 // serves until SIGINT/SIGTERM, then drains: the HTTP listener stops
-// accepting, queued and running jobs run to completion, and the final
-// run summary is printed.
+// accepting, queued and running jobs run to completion on every shard,
+// and the final run summary is printed.
 package main
 
 import (
@@ -37,33 +43,35 @@ func main() {
 		schedName = flag.String("scheduler", "dollymp2", "scheduler: "+strings.Join(dollymp.SchedulerNames(), ", "))
 		fleetSpec = flag.String("fleet", "testbed30", "fleet: testbed30, or a server count for a large fleet")
 		seed      = flag.Uint64("seed", 42, "random seed")
-		queueCap  = flag.Int("queue-cap", service.DefaultQueueCap, "admission queue capacity (full queue => 429)")
+		queueCap  = flag.Int("queue-cap", service.DefaultQueueCap, "per-shard admission queue capacity (full queue => 429)")
 		det       = flag.Bool("deterministic", false, "disable duration noise")
+		shards    = flag.Int("shards", 1, "partition count: one scheduling loop per shard")
+		route     = flag.String("route", "p2c", "routing policy: p2c (load-aware) or single (always shard 0)")
 		drainTO   = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *schedName, *fleetSpec, *seed, *queueCap, *det, *drainTO); err != nil {
+	if err := run(*addr, *schedName, *fleetSpec, *seed, *queueCap, *det, *shards, *route, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, "dollympd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool, drainTO time.Duration) error {
-	policy, err := dollymp.NewScheduler(dollymp.Kind(schedName))
-	if err != nil {
-		return err
-	}
+func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool, shards int, route string, drainTO time.Duration) error {
 	fleet, err := dollymp.NewFleet(fleetSpec, seed)
 	if err != nil {
 		return err
 	}
-	svc, err := service.New(service.Config{
-		Cluster:       fleet,
-		Scheduler:     policy,
+	router, err := dollymp.NewRouter(dollymp.RouterConfig{
+		Fleet:  fleet,
+		Shards: shards,
+		NewScheduler: func(int) (dollymp.Scheduler, error) {
+			return dollymp.NewScheduler(dollymp.Kind(schedName))
+		},
 		Seed:          seed,
 		Deterministic: det,
 		QueueCap:      queueCap,
+		Policy:        dollymp.RoutePolicy(route),
 	})
 	if err != nil {
 		return err
@@ -73,10 +81,11 @@ func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool,
 	if err != nil {
 		return err
 	}
-	svc.Start()
-	srv := &http.Server{Handler: svc.Handler()}
+	router.Start()
+	srv := &http.Server{Handler: dollymp.NewAPIHandler(router)}
 
-	fmt.Printf("dollympd: scheduler=%s fleet=%s queue-cap=%d\n", schedName, fleetSpec, queueCap)
+	fmt.Printf("dollympd: scheduler=%s fleet=%s shards=%d route=%s queue-cap=%d\n",
+		schedName, fleetSpec, router.NumShards(), route, queueCap)
 	fmt.Printf("dollympd: listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -96,20 +105,32 @@ func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool,
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	if err := svc.Stop(ctx); err != nil {
+	if err := router.Stop(ctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
 	}
 
-	c := svc.Counts()
-	res := svc.Result()
+	c := router.Counts()
+	var makespan int64
+	for _, res := range router.Results() {
+		if res.Makespan > makespan {
+			makespan = res.Makespan
+		}
+	}
 	fmt.Printf("dollympd: drained: %d submitted, %d completed, %d rejected, makespan %d slots\n",
-		c.Submitted, c.Completed, c.Rejected, res.Makespan)
-	if c.Completed > 0 {
+		c.Submitted, c.Completed, c.Rejected, makespan)
+	if done := router.Jobs(dollymp.JobFilter{State: service.StateCompleted}); len(done) > 0 {
+		flows := make([]float64, len(done))
+		var sum float64
+		for i, j := range done {
+			flows[i] = float64(j.Flowtime)
+			sum += flows[i]
+		}
+		ecdf := dollymp.NewECDF(flows)
 		fmt.Printf("dollympd: mean flowtime %.1f slots, p95 %.0f slots\n",
-			res.MeanFlowtime(), res.FlowtimeECDF().Quantile(0.95))
+			sum/float64(len(done)), ecdf.Quantile(0.95))
 	}
 	return nil
 }

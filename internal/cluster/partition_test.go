@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"testing"
+
+	"dollymp/internal/resources"
+)
+
+func TestPartitionRoundRobin(t *testing.T) {
+	c := Testbed30()
+	parts, err := Partition(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	// Disjoint and complete: every original server name appears in
+	// exactly one partition, and total capacity is conserved.
+	seen := make(map[string]int)
+	var total, sum resources.Vector
+	for _, s := range c.Servers() {
+		total = total.Add(s.Capacity)
+	}
+	for k, p := range parts {
+		for _, s := range p.Servers() {
+			if prev, dup := seen[s.Name]; dup {
+				t.Fatalf("server %q in partitions %d and %d", s.Name, prev, k)
+			}
+			seen[s.Name] = k
+			sum = sum.Add(s.Capacity)
+		}
+	}
+	if len(seen) != c.Len() {
+		t.Fatalf("partitions cover %d of %d servers", len(seen), c.Len())
+	}
+	if sum != total {
+		t.Fatalf("capacity not conserved: %v vs %v", sum, total)
+	}
+	// Round-robin by index: original server i lands in partition i%4.
+	for i, s := range c.Servers() {
+		if seen[s.Name] != i%4 {
+			t.Errorf("server %d (%s) in partition %d, want %d", i, s.Name, seen[s.Name], i%4)
+		}
+	}
+	// IDs are renumbered dense within each partition.
+	for k, p := range parts {
+		for i, s := range p.Servers() {
+			if int(s.ID) != i {
+				t.Errorf("partition %d server %d has ID %d", k, i, s.ID)
+			}
+		}
+	}
+}
+
+func TestPartitionSpreadsHeterogeneity(t *testing.T) {
+	// Testbed30 fronts its powerful servers; round-robin must not put
+	// them all in one shard. Compare per-partition total capacity: the
+	// max/min core ratio should be modest.
+	parts, err := Partition(Testbed30(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max int64
+	for i, p := range parts {
+		var cores int64
+		for _, s := range p.Servers() {
+			cores += s.Capacity.CPUMilli
+		}
+		if i == 0 || cores < min {
+			min = cores
+		}
+		if cores > max {
+			max = cores
+		}
+	}
+	if min == 0 || max > 2*min {
+		t.Fatalf("partition core totals skewed: min %d, max %d", min, max)
+	}
+}
+
+func TestPartitionSingleIsIdentity(t *testing.T) {
+	c := Testbed30()
+	parts, err := Partition(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Len() != c.Len() {
+		t.Fatalf("p=1 partition has %d servers, want %d", parts[0].Len(), c.Len())
+	}
+	for i, s := range parts[0].Servers() {
+		o := c.Servers()[i]
+		if s.Name != o.Name || s.Capacity != o.Capacity || s.Speed != o.Speed || s.ID != o.ID {
+			t.Fatalf("p=1 server %d differs: %+v vs %+v", i, s, o)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	c := Uniform(4, resources.Cores(4, 8))
+	if _, err := Partition(c, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := Partition(c, -2); err == nil {
+		t.Error("p=-2 accepted")
+	}
+	if _, err := Partition(c, 5); err == nil {
+		t.Error("p > server count accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+// Registry merging for the sharded service: every shard's service
+// registers its series (distinguished by a constant shard label) and the
+// router renders them all — plus its own routing metrics — as one
+// Prometheus exposition. Merging happens at write time, so the per-shard
+// registries stay independently owned and lock-free with respect to each
+// other.
+
+import (
+	"fmt"
+	"io"
+)
+
+// Union returns the union of two label sets. Keys in b override keys in
+// a; neither input is modified. It is how a component combines its
+// injected base labels (shard="3") with a series' own labels
+// (resource="cpu").
+func Union(a, b Labels) Labels {
+	out := make(Labels, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteMerged renders several registries as one exposition. Families
+// with the same name are merged: the HELP/TYPE header is emitted once
+// (and must agree across registries), followed by every registry's
+// series in registry order. A series that appears with identical labels
+// in two registries is an error — the merged output must stay a valid
+// exposition, and silently summing would hide a labelling bug.
+func WriteMerged(w io.Writer, regs ...*Registry) error {
+	type mergedFamily struct {
+		help, typ string
+		series    []seriesGroup
+	}
+	var order []string
+	merged := make(map[string]*mergedFamily)
+	seen := make(map[string]bool) // name+labelKey across all registries
+
+	for _, r := range regs {
+		r.mu.Lock()
+		for _, name := range r.order {
+			fam := r.families[name]
+			mf := merged[name]
+			if mf == nil {
+				mf = &mergedFamily{help: fam.help, typ: fam.typ}
+				merged[name] = mf
+				order = append(order, name)
+			} else if mf.typ != fam.typ || mf.help != fam.help {
+				r.mu.Unlock()
+				return fmt.Errorf("metrics: family %q merged with conflicting type or help", name)
+			}
+			for _, s := range fam.series {
+				key := name + s.labelKey()
+				if seen[key] {
+					r.mu.Unlock()
+					return fmt.Errorf("metrics: duplicate series %s across merged registries", key)
+				}
+				seen[key] = true
+				mf.series = append(mf.series, seriesGroup{s, fam})
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	for _, name := range order {
+		mf := merged[name]
+		if mf.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(mf.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, mf.typ); err != nil {
+			return err
+		}
+		for _, sg := range mf.series {
+			if err := sg.s.write(w, sg.fam); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesGroup pairs a series with its owning family so write() renders
+// the correct family name.
+type seriesGroup struct {
+	s   promSeries
+	fam *family
+}

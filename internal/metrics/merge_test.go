@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnion(t *testing.T) {
+	a := Labels{"shard": "0", "x": "a"}
+	b := Labels{"x": "b", "y": "c"}
+	u := Union(a, b)
+	if u["shard"] != "0" || u["x"] != "b" || u["y"] != "c" || len(u) != 3 {
+		t.Fatalf("union: %v", u)
+	}
+	// Inputs untouched.
+	if a["x"] != "a" || len(b) != 2 {
+		t.Fatalf("inputs modified: %v %v", a, b)
+	}
+	if u := Union(nil, nil); len(u) != 0 {
+		t.Fatalf("nil union: %v", u)
+	}
+}
+
+func TestWriteMergedCombinesFamilies(t *testing.T) {
+	// Two shard registries sharing a family (split by shard label) plus
+	// a router-only registry: the merged document must parse as one
+	// valid exposition with each family's header emitted exactly once.
+	r0, r1, rt := NewRegistry(), NewRegistry(), NewRegistry()
+	r0.Counter("jobs_total", "Jobs.", Labels{"shard": "0"}).Add(3)
+	r1.Counter("jobs_total", "Jobs.", Labels{"shard": "1"}).Add(4)
+	r0.Gauge("queue_depth", "Depth.", Labels{"shard": "0"}).Set(7)
+	rt.Counter("routed_total", "Routed.", nil).Add(9)
+
+	var b strings.Builder
+	if err := WriteMerged(&b, r0, r1, rt); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE jobs_total counter"); n != 1 {
+		t.Fatalf("jobs_total TYPE emitted %d times:\n%s", n, out)
+	}
+	samples, err := ParsePromText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("merged output invalid: %v\n%s", err, out)
+	}
+	var jobs float64
+	for _, s := range samples {
+		if s.Name == "jobs_total" {
+			jobs += s.Value
+		}
+	}
+	if jobs != 7 {
+		t.Fatalf("summed jobs_total %v, want 7", jobs)
+	}
+	if _, ok := samples[`routed_total`]; !ok {
+		t.Fatalf("router family missing:\n%s", out)
+	}
+}
+
+func TestWriteMergedRejectsDuplicateSeries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("jobs_total", "Jobs.", Labels{"shard": "0"}).Add(1)
+	b.Counter("jobs_total", "Jobs.", Labels{"shard": "0"}).Add(2)
+	var sb strings.Builder
+	if err := WriteMerged(&sb, a, b); err == nil {
+		t.Fatal("duplicate series across registries accepted")
+	}
+}
+
+func TestWriteMergedRejectsConflictingFamilies(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x_total", "Help A.", nil).Add(1)
+	b.Gauge("x_total", "Help A.", Labels{"shard": "1"}).Set(1)
+	var sb strings.Builder
+	if err := WriteMerged(&sb, a, b); err == nil {
+		t.Fatal("conflicting family types accepted")
+	}
+
+	c, d := NewRegistry(), NewRegistry()
+	c.Counter("y_total", "Help A.", nil).Add(1)
+	d.Counter("y_total", "Help B.", Labels{"shard": "1"}).Add(1)
+	sb.Reset()
+	if err := WriteMerged(&sb, c, d); err == nil {
+		t.Fatal("conflicting family help accepted")
+	}
+}
+
+func TestWriteMergedSingleRegistryMatchesWrite(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.", nil).Add(2)
+	r.Histogram("lat", "L.", []float64{1, 2}, nil).Observe(1.5)
+	var plain, merged strings.Builder
+	if err := r.Write(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMerged(&merged, r); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != merged.String() {
+		t.Fatalf("single-registry merge diverges:\n--- Write:\n%s--- WriteMerged:\n%s", plain.String(), merged.String())
+	}
+}

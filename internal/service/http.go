@@ -1,9 +1,13 @@
 package service
 
 // The HTTP surface of the daemon: stdlib net/http only, Go 1.22 pattern
-// routing. Request bodies are strict — unknown fields and trailing JSON
-// are 400s, a full admission queue is a 429 — so a malformed or
-// over-eager client fails loudly instead of corrupting a run.
+// routing. The whole /v1 surface lives in one route table (Routes) and
+// is served over the API interface, so the same handlers mount on a
+// single Service or on the sharded router without change. Request
+// bodies are strict — unknown fields and trailing JSON are 400s, a full
+// admission queue is a 429 — and every error response is the uniform
+// envelope {"error":{"code","message"}} so clients branch on machine-
+// readable codes, not status text.
 
 import (
 	"encoding/json"
@@ -21,35 +25,132 @@ import (
 // jobs fits comfortably; a runaway upload does not).
 const MaxBodyBytes = 16 << 20
 
-// Handler returns the service's HTTP API:
+// Error codes carried in the error envelope. Clients must treat unknown
+// codes as non-retryable; CodeQueueFull is the only retryable code.
+const (
+	CodeInvalidArgument = "invalid_argument"
+	CodeNotFound        = "not_found"
+	CodeQueueFull       = "queue_full"
+	CodeDraining        = "draining"
+	CodeInternal        = "internal"
+)
+
+// APIError is the machine-readable error payload inside the envelope.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the uniform error envelope every non-2xx /v1
+// response carries. IDs/Rejected are only set on a partially accepted
+// batch submission (429 mid-trace).
+type ErrorResponse struct {
+	Error    APIError         `json:"error"`
+	IDs      []workload.JobID `json:"ids,omitempty"`
+	Rejected int              `json:"rejected,omitempty"`
+}
+
+// API is the lifecycle surface the HTTP layer serves. *Service
+// implements it over one scheduling loop; shard.Router implements it
+// over P loops. NewHandler mounts the same routes on either.
+type API interface {
+	// SubmitNowait enqueues one job with immediate backpressure
+	// (ErrQueueFull → 429, ErrStopped → 503).
+	SubmitNowait(j *workload.Job) (workload.JobID, error)
+	// Job returns one job's lifecycle record.
+	Job(id workload.JobID) (JobInfo, bool)
+	// Jobs lists lifecycle records matching the filter, sorted by ID.
+	Jobs(f JobFilter) []JobInfo
+	// Counts returns aggregated job accounting.
+	Counts() Counts
+	// Snapshot returns the aggregated cluster/queue snapshot.
+	Snapshot() ClusterSnapshot
+	// Shards returns per-scheduling-loop status, one entry per shard.
+	Shards() []ShardStatus
+	// Draining reports whether a drain has begun anywhere.
+	Draining() bool
+	// Err returns the first terminal scheduling-loop error, if any.
+	Err() error
+	// WriteMetrics renders the Prometheus exposition.
+	WriteMetrics(w io.Writer) error
+}
+
+// Compile-time check: the single-loop service is a complete API.
+var _ API = (*Service)(nil)
+
+// Route is one entry of the HTTP surface: method, Go 1.22 mux pattern,
+// and handler. Routes returns the full table — the only place paths and
+// methods are declared.
+type Route struct {
+	Method  string
+	Pattern string
+	Handler http.HandlerFunc
+}
+
+// Routes returns the API's route table:
 //
-//	POST /v1/jobs     submit one job, or a v1 trace file of jobs
+//	POST /v1/jobs      submit one job, or a v1 trace file of jobs
+//	GET  /v1/jobs      list jobs (?state=, ?limit=, ?offset=)
 //	GET  /v1/jobs/{id} one job's lifecycle record
-//	GET  /v1/cluster  cluster + queue snapshot
-//	GET  /healthz     liveness (503 once draining or failed)
-//	GET  /metrics     Prometheus text exposition
-func (s *Service) Handler() http.Handler {
+//	GET  /v1/shards    per-shard queue/clock/accounting status
+//	GET  /v1/cluster   aggregated cluster + queue snapshot
+//	GET  /healthz      liveness (503 once draining or failed)
+//	GET  /metrics      Prometheus text exposition
+func Routes(api API) []Route {
+	h := handler{api}
+	return []Route{
+		{"POST", "/v1/jobs", h.submit},
+		{"GET", "/v1/jobs", h.listJobs},
+		{"GET", "/v1/jobs/{id}", h.job},
+		{"GET", "/v1/shards", h.shards},
+		{"GET", "/v1/cluster", h.cluster},
+		{"GET", "/healthz", h.health},
+		{"GET", "/metrics", h.metrics},
+	}
+}
+
+// NewHandler builds the HTTP handler for any API implementation from
+// the route table, with an envelope-shaped 404 for unknown paths.
+func NewHandler(api API) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, r := range Routes(api) {
+		mux.HandleFunc(r.Method+" "+r.Pattern, r.Handler)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+	})
 	return mux
 }
 
-// submitResponse is the POST /v1/jobs reply.
+// Handler returns this service's HTTP API (see Routes).
+func (s *Service) Handler() http.Handler { return NewHandler(s) }
+
+// submitResponse is the POST /v1/jobs success reply.
 type submitResponse struct {
 	// IDs are the service-assigned job IDs, in submission order.
 	IDs []workload.JobID `json:"ids"`
-	// Rejected counts jobs refused by queue backpressure (only ever
-	// non-zero on a 429, where a trace body was partially admitted).
-	Rejected int `json:"rejected,omitempty"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// jobListResponse is the GET /v1/jobs reply.
+type jobListResponse struct {
+	Jobs []JobInfo `json:"jobs"`
+	// Total counts jobs matching the filter before pagination.
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
 }
+
+// shardsResponse is the GET /v1/shards reply.
+type shardsResponse struct {
+	Shards []ShardStatus `json:"shards"`
+}
+
+// DefaultJobsLimit and MaxJobsLimit bound GET /v1/jobs pagination.
+const (
+	DefaultJobsLimit = 100
+	MaxJobsLimit     = 1000
+)
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -57,73 +158,135 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: APIError{Code: code, Message: msg}})
+}
+
+type handler struct{ api API }
+
+func (h handler) submit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("read body: %v", err)})
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("read body: %v", err))
 		return
 	}
 	jobs, err := trace.DecodeSubmission(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
 	}
-	resp := submitResponse{IDs: make([]workload.JobID, 0, len(jobs))}
+	ids := make([]workload.JobID, 0, len(jobs))
 	for i, j := range jobs {
-		id, err := s.Submit(j)
+		id, err := h.api.SubmitNowait(j)
 		switch {
 		case err == nil:
-			resp.IDs = append(resp.IDs, id)
+			ids = append(ids, id)
 		case errors.Is(err, ErrQueueFull):
-			resp.Rejected = len(jobs) - i
-			writeJSON(w, http.StatusTooManyRequests, resp)
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+				Error:    APIError{Code: CodeQueueFull, Message: err.Error()},
+				IDs:      ids,
+				Rejected: len(jobs) - i,
+			})
 			return
 		case errors.Is(err, ErrStopped):
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+				Error:    APIError{Code: CodeDraining, Message: err.Error()},
+				IDs:      ids,
+				Rejected: len(jobs) - i,
+			})
 			return
 		default:
-			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error:    APIError{Code: CodeInvalidArgument, Message: err.Error()},
+				IDs:      ids,
+				Rejected: len(jobs) - i,
+			})
 			return
 		}
 	}
-	writeJSON(w, http.StatusAccepted, resp)
+	writeJSON(w, http.StatusAccepted, submitResponse{IDs: ids})
 }
 
-func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad job id %q", r.PathValue("id"))})
+func (h handler) listJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f JobFilter
+	if st := q.Get("state"); st != "" {
+		if !ValidState(JobState(st)) {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Sprintf("unknown state %q (valid: queued, admitted, running, completed)", st))
+			return
+		}
+		f.State = JobState(st)
+	}
+	limit, err := queryInt(q.Get("limit"), DefaultJobsLimit)
+	if err != nil || limit < 1 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad limit %q", q.Get("limit")))
 		return
 	}
-	info, ok := s.Job(workload.JobID(id))
+	if limit > MaxJobsLimit {
+		limit = MaxJobsLimit
+	}
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad offset %q", q.Get("offset")))
+		return
+	}
+	jobs := h.api.Jobs(f)
+	total := len(jobs)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	writeJSON(w, http.StatusOK, jobListResponse{
+		Jobs: jobs[offset:end], Total: total, Offset: offset, Limit: limit,
+	})
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func (h handler) job(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad job id %q", r.PathValue("id")))
+		return
+	}
+	info, ok := h.api.Job(workload.JobID(id))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no job %d", id)})
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no job %d", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
-func (s *Service) handleCluster(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Snapshot())
+func (h handler) shards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, shardsResponse{Shards: h.api.Shards()})
 }
 
-func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if err := s.Err(); err != nil {
-		http.Error(w, fmt.Sprintf("scheduling loop failed: %v", err), http.StatusServiceUnavailable)
-		return
-	}
-	if s.Snapshot().Draining {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+func (h handler) cluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.api.Snapshot())
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Queue depth changes between loop publishes; refresh it at read
-	// time so the gauge never goes stale while the engine is idle.
-	s.mQueue.Set(float64(len(s.subCh)))
+func (h handler) health(w http.ResponseWriter, r *http.Request) {
+	if err := h.api.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeInternal, fmt.Sprintf("scheduling loop failed: %v", err))
+		return
+	}
+	if h.api.Draining() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.reg.Write(w)
+	_ = h.api.WriteMetrics(w)
 }

@@ -140,8 +140,8 @@ func TestHTTPBackpressure429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d (%s), want 429", resp.StatusCode, out)
 	}
-	var sr submitResponse
-	if err := json.Unmarshal(out, &sr); err != nil || sr.Rejected != 1 {
+	var er ErrorResponse
+	if err := json.Unmarshal(out, &er); err != nil || er.Rejected != 1 || er.Error.Code != CodeQueueFull {
 		t.Fatalf("429 body %s", out)
 	}
 	s.Start()

@@ -10,14 +10,23 @@
 // Job lifecycle: queued (accepted into the admission queue) → admitted
 // (injected into the engine, arrival slot stamped) → running (first copy
 // placed) → completed (flowtime/JCT stamped). A full queue rejects
-// submissions with ErrQueueFull, which the HTTP layer maps to 429 —
-// backpressure, not silent dropping.
+// SubmitNowait with ErrQueueFull, which the HTTP layer maps to 429 —
+// backpressure, not silent dropping; Submit instead waits for space
+// until its context expires.
+//
+// A Service is also one shard of a sharded deployment (internal/shard):
+// Config.Registry/MetricLabels let the router collect every shard's
+// series in one view, and Config.IDBase/IDStride carve the job-ID space
+// into disjoint residue classes so IDs stay globally unique without
+// cross-shard coordination.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,8 +37,8 @@ import (
 	"dollymp/internal/workload"
 )
 
-// ErrQueueFull is returned by Submit when the admission queue is at
-// capacity; the caller should retry later (HTTP 429).
+// ErrQueueFull is returned by SubmitNowait when the admission queue is
+// at capacity; the caller should retry later (HTTP 429).
 var ErrQueueFull = errors.New("service: admission queue full")
 
 // ErrStopped is returned by Submit after Stop has begun: the service is
@@ -52,6 +61,21 @@ type Config struct {
 	// MaxSlots aborts a runaway virtual clock; 0 means effectively
 	// unbounded (the daemon runs until stopped).
 	MaxSlots int64
+
+	// Registry receives the service's metric series; nil means a
+	// private registry. The shard router injects a shared registry so
+	// every shard's series land in one exposition.
+	Registry *metrics.Registry
+	// MetricLabels are constant labels stamped on every series this
+	// service registers (the router passes shard="k"). Nil is fine.
+	MetricLabels metrics.Labels
+
+	// IDBase and IDStride carve up the job-ID space: assigned IDs are
+	// IDBase, IDBase+IDStride, IDBase+2·IDStride, ... Zero values mean
+	// 1 and 1 (the whole space). The router gives shard k base k+1 and
+	// stride P, so shard ownership of an ID is (id-1) mod P.
+	IDBase   workload.JobID
+	IDStride int
 }
 
 // DefaultQueueCap is the admission-queue bound when Config.QueueCap is 0.
@@ -67,6 +91,16 @@ const (
 	StateRunning   JobState = "running"
 	StateCompleted JobState = "completed"
 )
+
+// ValidState reports whether s names a lifecycle state (the HTTP layer
+// validates ?state= filters with it). The empty string is not valid.
+func ValidState(s JobState) bool {
+	switch s {
+	case StateQueued, StateAdmitted, StateRunning, StateCompleted:
+		return true
+	}
+	return false
+}
 
 // JobInfo is the externally visible record of one submitted job. Slot
 // fields are -1 until the lifecycle reaches them.
@@ -84,12 +118,62 @@ type JobInfo struct {
 	Flowtime int64 `json:"flowtime_slots"`
 }
 
+// JobFilter selects jobs for Jobs. The zero value selects everything.
+type JobFilter struct {
+	// State keeps only jobs in that lifecycle state; empty keeps all.
+	State JobState
+}
+
 // Counts summarizes the service's job accounting.
 type Counts struct {
 	Submitted int64 `json:"submitted"`
 	Admitted  int64 `json:"admitted"`
 	Completed int64 `json:"completed"`
 	Rejected  int64 `json:"rejected"`
+}
+
+// Add accumulates other into c (the router sums per-shard counts).
+func (c *Counts) Add(other Counts) {
+	c.Submitted += other.Submitted
+	c.Admitted += other.Admitted
+	c.Completed += other.Completed
+	c.Rejected += other.Rejected
+}
+
+// Load is a shard's routing signal: how much accepted-but-unfinished
+// work it holds. The router compares loads lexicographically — queue
+// depth first (jobs not even admitted yet), then outstanding task
+// volume (admitted work still running).
+type Load struct {
+	// QueueDepth is the number of jobs waiting in the admission queue.
+	QueueDepth int
+	// Jobs is submitted − completed: accepted jobs not yet finished.
+	Jobs int64
+	// Tasks is the outstanding task volume: total tasks of accepted,
+	// unfinished jobs.
+	Tasks int64
+}
+
+// Less orders loads lexicographically by (queue depth, outstanding
+// tasks, outstanding jobs): the power-of-two-choices comparison.
+func (l Load) Less(other Load) bool {
+	if l.QueueDepth != other.QueueDepth {
+		return l.QueueDepth < other.QueueDepth
+	}
+	if l.Tasks != other.Tasks {
+		return l.Tasks < other.Tasks
+	}
+	return l.Jobs < other.Jobs
+}
+
+// ShardStatus is one scheduling loop's slice of a /v1/shards response.
+type ShardStatus struct {
+	Shard      int    `json:"shard"`
+	QueueDepth int    `json:"queue_depth"`
+	ActiveJobs int    `json:"active_jobs"`
+	Clock      int64  `json:"clock_slots"`
+	Draining   bool   `json:"draining"`
+	Jobs       Counts `json:"jobs"`
 }
 
 // ServerInfo is one server's slice of a cluster snapshot.
@@ -109,6 +193,7 @@ type ServerInfo struct {
 // by the scheduling loop after each step.
 type ClusterSnapshot struct {
 	Scheduler      string       `json:"scheduler"`
+	Shards         int          `json:"shards"`
 	Clock          int64        `json:"clock_slots"`
 	ActiveJobs     int          `json:"active_jobs"`
 	PendingArrival int          `json:"pending_arrivals"`
@@ -121,7 +206,7 @@ type ClusterSnapshot struct {
 }
 
 // Service is the online scheduling daemon core. Create with New, start
-// with Start, submit with Submit, stop with Stop.
+// with Start, submit with Submit or SubmitNowait, stop with Stop.
 type Service struct {
 	cfg   Config
 	eng   *sim.Engine
@@ -137,9 +222,11 @@ type Service struct {
 	jobs     map[workload.JobID]*JobInfo
 	nextID   workload.JobID
 	counts   Counts
+	tasksOut int64 // outstanding task volume of accepted, unfinished jobs
 	clock    int64
 	snap     ClusterSnapshot
 	err      error
+	admitCh  chan struct{} // closed+replaced on every admit: queue-space broadcast
 
 	reg        *metrics.Registry
 	mSubmitted *metrics.Counter
@@ -166,26 +253,41 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxSlots == 0 {
 		cfg.MaxSlots = int64(1) << 62
 	}
-	s := &Service{
-		cfg:    cfg,
-		subCh:  make(chan *workload.Job, cfg.QueueCap),
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
-		jobs:   make(map[workload.JobID]*JobInfo),
-		nextID: 1,
-		reg:    metrics.NewRegistry(),
+	if cfg.IDBase == 0 {
+		cfg.IDBase = 1
 	}
-	s.mSubmitted = s.reg.Counter("dollymp_jobs_submitted_total", "Jobs accepted into the admission queue.", nil)
-	s.mAdmitted = s.reg.Counter("dollymp_jobs_admitted_total", "Jobs injected into the running engine.", nil)
-	s.mCompleted = s.reg.Counter("dollymp_jobs_completed_total", "Jobs that finished with a stamped JCT.", nil)
-	s.mRejected = s.reg.Counter("dollymp_jobs_rejected_total", "Submissions rejected by queue backpressure.", nil)
-	s.mQueue = s.reg.Gauge("dollymp_queue_depth", "Jobs waiting in the admission queue.", nil)
-	s.mActive = s.reg.Gauge("dollymp_active_jobs", "Arrived, unfinished jobs in the engine.", nil)
-	s.mClock = s.reg.Gauge("dollymp_virtual_clock_slots", "Engine virtual time in slots.", nil)
-	s.mUtilCPU = s.reg.Gauge("dollymp_cluster_utilization", "Fraction of cluster capacity allocated.", metrics.Labels{"resource": "cpu"})
-	s.mUtilMem = s.reg.Gauge("dollymp_cluster_utilization", "Fraction of cluster capacity allocated.", metrics.Labels{"resource": "mem"})
+	if cfg.IDStride == 0 {
+		cfg.IDStride = 1
+	}
+	if cfg.IDBase < 1 || cfg.IDStride < 1 {
+		return nil, fmt.Errorf("service: invalid ID space (base %d, stride %d)", cfg.IDBase, cfg.IDStride)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	s := &Service{
+		cfg:     cfg,
+		subCh:   make(chan *workload.Job, cfg.QueueCap),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		jobs:    make(map[workload.JobID]*JobInfo),
+		nextID:  cfg.IDBase,
+		admitCh: make(chan struct{}),
+		reg:     cfg.Registry,
+	}
+	base := cfg.MetricLabels
+	lbl := func(extra metrics.Labels) metrics.Labels { return metrics.Union(base, extra) }
+	s.mSubmitted = s.reg.Counter("dollymp_jobs_submitted_total", "Jobs accepted into the admission queue.", lbl(nil))
+	s.mAdmitted = s.reg.Counter("dollymp_jobs_admitted_total", "Jobs injected into the running engine.", lbl(nil))
+	s.mCompleted = s.reg.Counter("dollymp_jobs_completed_total", "Jobs that finished with a stamped JCT.", lbl(nil))
+	s.mRejected = s.reg.Counter("dollymp_jobs_rejected_total", "Submissions rejected by queue backpressure.", lbl(nil))
+	s.mQueue = s.reg.Gauge("dollymp_queue_depth", "Jobs waiting in the admission queue.", lbl(nil))
+	s.mActive = s.reg.Gauge("dollymp_active_jobs", "Arrived, unfinished jobs in the engine.", lbl(nil))
+	s.mClock = s.reg.Gauge("dollymp_virtual_clock_slots", "Engine virtual time in slots.", lbl(nil))
+	s.mUtilCPU = s.reg.Gauge("dollymp_cluster_utilization", "Fraction of cluster capacity allocated.", lbl(metrics.Labels{"resource": "cpu"}))
+	s.mUtilMem = s.reg.Gauge("dollymp_cluster_utilization", "Fraction of cluster capacity allocated.", lbl(metrics.Labels{"resource": "mem"}))
 	s.mJCT = s.reg.Histogram("dollymp_job_completion_slots", "Job completion time (flowtime) in slots.",
-		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}, nil)
+		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}, lbl(nil))
 
 	eng, err := sim.New(sim.Config{
 		Cluster:       cfg.Cluster,
@@ -201,7 +303,7 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s.eng = eng
-	s.snap = ClusterSnapshot{Scheduler: cfg.Scheduler.Name(), Servers: serverInfos(cfg.Cluster)}
+	s.snap = ClusterSnapshot{Scheduler: cfg.Scheduler.Name(), Shards: 1, Servers: serverInfos(cfg.Cluster)}
 	return s, nil
 }
 
@@ -212,16 +314,60 @@ func (s *Service) Start() {
 	}
 }
 
-// Metrics returns the service's metric registry (for /metrics).
+// Metrics returns the service's metric registry (for /metrics). When a
+// registry was injected via Config.Registry this is that registry.
 func (s *Service) Metrics() *metrics.Registry { return s.reg }
 
-// Submit validates a job, assigns it a fresh ID (any caller-provided ID
-// is overwritten — the service owns the ID space), and enqueues it. It
-// never blocks: a full queue returns ErrQueueFull. The service takes
-// ownership of the job. The stopping check and the enqueue happen under
-// one critical section, so a job accepted by Submit is always seen by
-// the drain — Stop never strands an accepted job.
-func (s *Service) Submit(j *workload.Job) (workload.JobID, error) {
+// RefreshGauges re-publishes gauges that drift between loop publishes
+// (today: queue depth). Called at scrape time so an idle engine never
+// serves a stale gauge.
+func (s *Service) RefreshGauges() { s.mQueue.Set(float64(len(s.subCh))) }
+
+// WriteMetrics renders the service's registry as Prometheus text. Part
+// of the API interface shared with the shard router.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	s.RefreshGauges()
+	return s.reg.Write(w)
+}
+
+// Submit validates a job and enqueues it, waiting for queue space if the
+// admission queue is full: the cancellable-queue-wait entry point. It
+// returns ctx.Err() if the context expires first and ErrStopped once a
+// drain begins. Use SubmitNowait for immediate-backpressure (429)
+// semantics.
+func (s *Service) Submit(ctx context.Context, j *workload.Job) (workload.JobID, error) {
+	for {
+		// Grab the admission broadcast channel before trying: any admit
+		// after this point closes admitCh, so a full-queue failure below
+		// cannot miss the wakeup that frees space.
+		s.mu.RLock()
+		wait := s.admitCh
+		s.mu.RUnlock()
+		id, err := s.submit(j, false)
+		if !errors.Is(err, ErrQueueFull) {
+			return id, err
+		}
+		select {
+		case <-wait:
+		case <-s.stopCh:
+			return 0, ErrStopped
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// SubmitNowait validates a job, assigns it a fresh ID (any
+// caller-provided ID is overwritten — the service owns its ID space),
+// and enqueues it. It never blocks: a full queue returns ErrQueueFull.
+// The service takes ownership of the job. The stopping check and the
+// enqueue happen under one critical section, so a job accepted here is
+// always seen by the drain — Stop never strands an accepted job.
+func (s *Service) SubmitNowait(j *workload.Job) (workload.JobID, error) {
+	return s.submit(j, true)
+}
+
+func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, error) {
 	if j == nil {
 		return 0, fmt.Errorf("service: nil job")
 	}
@@ -234,7 +380,7 @@ func (s *Service) Submit(j *workload.Job) (workload.JobID, error) {
 		return 0, ErrStopped
 	}
 	id := s.nextID
-	s.nextID++
+	s.nextID += workload.JobID(s.cfg.IDStride)
 	j.ID = id
 	j.Arrival = 0 // clamped to the live clock at injection
 	info := &JobInfo{
@@ -248,13 +394,18 @@ func (s *Service) Submit(j *workload.Job) (workload.JobID, error) {
 	case s.subCh <- j: // buffered; never blocks under mu
 	default:
 		delete(s.jobs, id)
-		s.nextID--
-		s.counts.Rejected++
+		s.nextID -= workload.JobID(s.cfg.IDStride)
+		if countReject {
+			s.counts.Rejected++
+		}
 		s.mu.Unlock()
-		s.mRejected.Inc()
+		if countReject {
+			s.mRejected.Inc()
+		}
 		return 0, ErrQueueFull
 	}
 	s.counts.Submitted++
+	s.tasksOut += int64(info.Tasks)
 	s.mu.Unlock()
 	s.mSubmitted.Inc()
 	return id, nil
@@ -271,12 +422,68 @@ func (s *Service) Job(id workload.JobID) (JobInfo, bool) {
 	return *info, true
 }
 
+// Jobs returns the lifecycle records matching the filter, sorted by ID.
+func (s *Service) Jobs(f JobFilter) []JobInfo {
+	s.mu.RLock()
+	out := make([]JobInfo, 0, len(s.jobs))
+	for _, info := range s.jobs {
+		if f.State != "" && info.State != f.State {
+			continue
+		}
+		out = append(out, *info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Counts returns the current job accounting.
 func (s *Service) Counts() Counts {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.counts
 }
+
+// Load returns the routing signal: queue depth plus outstanding job and
+// task volume. Cheap enough for the router to call on every placement.
+func (s *Service) Load() Load {
+	s.mu.RLock()
+	l := Load{
+		Jobs:  s.counts.Submitted - s.counts.Completed,
+		Tasks: s.tasksOut,
+	}
+	s.mu.RUnlock()
+	l.QueueDepth = len(s.subCh)
+	return l
+}
+
+// Draining reports whether a drain has begun (Stop called or the loop
+// failed). Exposed so the router and health checks see shard state
+// without building a full snapshot.
+func (s *Service) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stopping
+}
+
+// Status returns the service's slice of a /v1/shards response, with
+// Shard left at 0 — the router stamps the index.
+func (s *Service) Status() ShardStatus {
+	s.mu.RLock()
+	st := ShardStatus{
+		ActiveJobs: s.snap.ActiveJobs,
+		Clock:      s.clock,
+		Draining:   s.stopping,
+		Jobs:       s.counts,
+	}
+	s.mu.RUnlock()
+	st.QueueDepth = len(s.subCh)
+	return st
+}
+
+// Shards returns the single-loop view of /v1/shards: one entry. Part of
+// the API interface shared with the shard router.
+func (s *Service) Shards() []ShardStatus { return []ShardStatus{s.Status()} }
 
 // Snapshot returns the most recent cluster/queue snapshot. The queue
 // depth and draining flag are read live; everything else is the state
@@ -390,6 +597,11 @@ func (s *Service) admit(j *workload.Job) {
 		info.Arrival = arr
 	}
 	s.counts.Admitted++
+	// Broadcast the freed queue slot to blocked Submit callers: close
+	// the current admission channel and replace it. Waiters that
+	// grabbed the old channel wake and retry.
+	close(s.admitCh)
+	s.admitCh = make(chan struct{})
 	s.mu.Unlock()
 	s.mAdmitted.Inc()
 }
@@ -411,6 +623,7 @@ func (s *Service) onJobComplete(m sim.JobMetrics) {
 		info.State = StateCompleted
 		info.Finish = m.Finish
 		info.Flowtime = m.Flowtime
+		s.tasksOut -= int64(info.Tasks)
 	}
 	s.counts.Completed++
 	s.mu.Unlock()
@@ -425,6 +638,7 @@ func (s *Service) publish() {
 	used, total := s.cfg.Cluster.TotalUsed(), s.cfg.Cluster.Total()
 	snap := ClusterSnapshot{
 		Scheduler:      s.cfg.Scheduler.Name(),
+		Shards:         1,
 		Clock:          clock,
 		ActiveJobs:     s.eng.ActiveJobs(),
 		PendingArrival: s.eng.PendingArrivals(),
@@ -459,6 +673,10 @@ func (s *Service) fail(err error) {
 		s.err = err
 	}
 	s.stopping = true
+	// Wake blocked Submit waiters so they observe stopping and return
+	// ErrStopped instead of waiting on a loop that is gone.
+	close(s.admitCh)
+	s.admitCh = make(chan struct{})
 	s.mu.Unlock()
 }
 

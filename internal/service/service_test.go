@@ -108,7 +108,7 @@ func TestServiceConcurrentSubmitters(t *testing.T) {
 			for i := 0; i < perSubmitter; i++ {
 				j := testJob(1+(g+i)%4, float64(1+(g*i)%7))
 				for {
-					id, err := s.Submit(j)
+					id, err := s.SubmitNowait(j)
 					if errors.Is(err, ErrQueueFull) {
 						retries.Add(1)
 						time.Sleep(time.Millisecond)
@@ -172,11 +172,11 @@ func TestServiceBackpressure(t *testing.T) {
 	// submit bounces with ErrQueueFull.
 	s := newTestService(t, 2)
 	for i := 0; i < 2; i++ {
-		if _, err := s.Submit(testJob(1, 1)); err != nil {
+		if _, err := s.SubmitNowait(testJob(1, 1)); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
-	if _, err := s.Submit(testJob(1, 1)); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.SubmitNowait(testJob(1, 1)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("want ErrQueueFull, got %v", err)
 	}
 	c := s.Counts()
@@ -194,11 +194,11 @@ func TestServiceBackpressure(t *testing.T) {
 func TestServiceRejectsAfterStop(t *testing.T) {
 	s := newTestService(t, 8)
 	s.Start()
-	if _, err := s.Submit(testJob(1, 1)); err != nil {
+	if _, err := s.SubmitNowait(testJob(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	stopDrained(t, s)
-	if _, err := s.Submit(testJob(1, 1)); !errors.Is(err, ErrStopped) {
+	if _, err := s.SubmitNowait(testJob(1, 1)); !errors.Is(err, ErrStopped) {
 		t.Fatalf("want ErrStopped, got %v", err)
 	}
 	res := s.Result()
@@ -209,10 +209,10 @@ func TestServiceRejectsAfterStop(t *testing.T) {
 
 func TestServiceValidatesJobs(t *testing.T) {
 	s := newTestService(t, 8)
-	if _, err := s.Submit(nil); err == nil {
+	if _, err := s.SubmitNowait(nil); err == nil {
 		t.Fatal("nil job accepted")
 	}
-	if _, err := s.Submit(&workload.Job{Name: "no-phases"}); err == nil {
+	if _, err := s.SubmitNowait(&workload.Job{Name: "no-phases"}); err == nil {
 		t.Fatal("invalid job accepted")
 	}
 	if c := s.Counts(); c.Submitted != 0 {
@@ -223,7 +223,7 @@ func TestServiceValidatesJobs(t *testing.T) {
 // TestServiceLifecycleStamps follows one job through the state machine.
 func TestServiceLifecycleStamps(t *testing.T) {
 	s := newTestService(t, 8)
-	id, err := s.Submit(testJob(2, 5))
+	id, err := s.SubmitNowait(testJob(2, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestServiceWaves(t *testing.T) {
 	s.Start()
 	submitWave := func(n int) {
 		for i := 0; i < n; i++ {
-			if _, err := s.Submit(testJob(1, 3)); err != nil {
+			if _, err := s.SubmitNowait(testJob(1, 3)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -291,7 +291,7 @@ func TestServiceStopTimeout(t *testing.T) {
 	cancel()
 	// Even with work pending, an expired context returns promptly.
 	for i := 0; i < 4; i++ {
-		_, _ = s.Submit(testJob(1, 100))
+		_, _ = s.SubmitNowait(testJob(1, 100))
 	}
 	if err := s.Stop(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
@@ -330,7 +330,7 @@ func BenchmarkServiceSubmitDrain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for {
-			_, err := s.Submit(testJob(1, 2))
+			_, err := s.SubmitNowait(testJob(1, 2))
 			if errors.Is(err, ErrQueueFull) {
 				time.Sleep(100 * time.Microsecond)
 				continue

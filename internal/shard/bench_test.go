@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/workload"
+)
+
+// BenchmarkRouterDrain measures end-to-end jobs/sec through the sharded
+// service core (submit + schedule + drain, no HTTP): the in-process
+// companion to the dollympd/-load acceptance benchmark.
+func BenchmarkRouterDrain(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				r, err := New(Config{
+					Fleet:  cluster.LargeFleet(64, 1),
+					Shards: shards,
+					NewScheduler: func(int) (sched.Scheduler, error) {
+						return core.New(core.WithClones(2))
+					},
+					Seed: 7, QueueCap: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs := benchJobs(512)
+				b.StartTimer()
+
+				r.Start()
+				for _, j := range jobs {
+					if _, err := r.SubmitNowait(j); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				if err := r.Stop(ctx); err != nil {
+					b.Fatal(err)
+				}
+				cancel()
+				if c := r.Counts(); c.Completed != int64(len(jobs)) {
+					b.Fatalf("completed %d of %d", c.Completed, len(jobs))
+				}
+			}
+			b.ReportMetric(float64(512*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+func benchJobs(n int) []*workload.Job {
+	jobs := make([]*workload.Job, n)
+	for i := range jobs {
+		jobs[i] = &workload.Job{
+			Name: "b", App: "bench",
+			Phases: []workload.Phase{{
+				Name: "p", Tasks: 2 + i%8, Demand: resources.Cores(1, 2),
+				MeanDuration: float64(3 + i%10), SDDuration: 1,
+			}},
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,380 @@
+// Package shard runs the online scheduling service as P independent
+// partitions behind one routing front end. The fleet is split into P
+// disjoint sub-fleets (cluster.Partition), each owned by its own
+// service.Service scheduling loop, so submission handling and engine
+// stepping scale with cores instead of serializing on a single loop —
+// the decomposition studied for parallel task packing under placement
+// constraints (Shafiee & Ghaderi, arXiv:2004.00518).
+//
+// The Router places each incoming job by power-of-two-choices: sample
+// two distinct shards, compare their (queue depth, outstanding task
+// volume) loads, send the job to the lighter one. Load-aware two-choice
+// routing keeps the per-partition queues balanced without global state;
+// RouteSingle pins everything to shard 0 for reproducible tests — a
+// P=1 router is then bit-for-bit identical to an unsharded service.
+//
+// Job IDs stay globally unique without cross-shard coordination: shard
+// k allocates IDs k+1, k+1+P, k+1+2P, ... (service.Config.IDBase/
+// IDStride), so the owner of any ID is (id-1) mod P and lookups touch
+// exactly one shard.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/metrics"
+	"dollymp/internal/sched"
+	"dollymp/internal/service"
+	"dollymp/internal/sim"
+	"dollymp/internal/stats"
+	"dollymp/internal/workload"
+)
+
+// RoutePolicy selects how the router places incoming jobs.
+type RoutePolicy string
+
+const (
+	// RouteP2C is power-of-two-choices on (queue depth, outstanding
+	// task volume): the default.
+	RouteP2C RoutePolicy = "p2c"
+	// RouteSingle sends every job to shard 0 — the deterministic
+	// fallback for reproducible tests and P=1 deployments.
+	RouteSingle RoutePolicy = "single"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Fleet is the whole cluster; New partitions it into Shards
+	// disjoint sub-fleets (round-robin by server index).
+	Fleet *cluster.Cluster
+	// Shards is the partition count P; 0 means 1.
+	Shards int
+	// NewScheduler builds shard k's policy instance. Policies are
+	// stateful, so every shard needs its own. Required.
+	NewScheduler func(shard int) (sched.Scheduler, error)
+	// Seed seeds shard k's engine with Seed+k, keeping shards
+	// decorrelated but the whole deployment deterministic.
+	Seed uint64
+	// Deterministic disables duration noise (tests, smoke runs).
+	Deterministic bool
+	// QueueCap bounds each shard's admission queue (per shard, not
+	// total); 0 means service.DefaultQueueCap.
+	QueueCap int
+	// MaxSlots aborts a runaway virtual clock per shard; 0 = unbounded.
+	MaxSlots int64
+	// Policy is the routing policy; empty means RouteP2C. A single
+	// shard always routes deterministically regardless of policy.
+	Policy RoutePolicy
+}
+
+// Router fans one service API out over P scheduling loops. It
+// implements service.API, so service.NewHandler mounts the HTTP surface
+// on it unchanged.
+type Router struct {
+	cfg    Config
+	shards []*service.Service
+
+	svcReg *metrics.Registry // shared by all shards, series labelled shard="k"
+	rtrReg *metrics.Registry // router-local metrics
+	routed []*metrics.Counter
+
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// Compile-time check: the router serves the same HTTP surface as a
+// single service.
+var _ service.API = (*Router)(nil)
+
+// New partitions the fleet and builds one stopped service per shard;
+// call Start to launch the scheduling loops.
+func New(cfg Config) (*Router, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.Fleet == nil {
+		return nil, fmt.Errorf("shard: nil fleet")
+	}
+	if cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("shard: nil scheduler factory")
+	}
+	switch cfg.Policy {
+	case "":
+		cfg.Policy = RouteP2C
+	case RouteP2C, RouteSingle:
+	default:
+		return nil, fmt.Errorf("shard: unknown route policy %q (valid: %s, %s)", cfg.Policy, RouteP2C, RouteSingle)
+	}
+	parts, err := cluster.Partition(cfg.Fleet, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:    cfg,
+		svcReg: metrics.NewRegistry(),
+		rtrReg: metrics.NewRegistry(),
+		rng:    stats.NewRNG(cfg.Seed).Split(0x5a5a),
+	}
+	for k := 0; k < cfg.Shards; k++ {
+		policy, err := cfg.NewScheduler(k)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		svc, err := service.New(service.Config{
+			Cluster:       parts[k],
+			Scheduler:     policy,
+			Seed:          cfg.Seed + uint64(k),
+			Deterministic: cfg.Deterministic,
+			QueueCap:      cfg.QueueCap,
+			MaxSlots:      cfg.MaxSlots,
+			Registry:      r.svcReg,
+			MetricLabels:  metrics.Labels{"shard": strconv.Itoa(k)},
+			IDBase:        workload.JobID(k + 1),
+			IDStride:      cfg.Shards,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		r.shards = append(r.shards, svc)
+		r.routed = append(r.routed, r.rtrReg.Counter("dollymp_router_jobs_routed_total",
+			"Jobs placed on a shard by the router.", metrics.Labels{"shard": strconv.Itoa(k)}))
+	}
+	return r, nil
+}
+
+// Shards returns the partition count P.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns shard k's service (tests and embedders).
+func (r *Router) Shard(k int) *service.Service { return r.shards[k] }
+
+// Start launches every shard's scheduling loop. Idempotent.
+func (r *Router) Start() {
+	for _, s := range r.shards {
+		s.Start()
+	}
+}
+
+// pick chooses the target shard: power-of-two-choices on load, or
+// shard 0 under RouteSingle/P=1.
+func (r *Router) pick() int {
+	if len(r.shards) == 1 || r.cfg.Policy == RouteSingle {
+		return 0
+	}
+	r.mu.Lock()
+	i := r.rng.Intn(len(r.shards))
+	j := r.rng.Intn(len(r.shards) - 1)
+	r.mu.Unlock()
+	if j >= i {
+		j++ // j uniform over the other shards
+	}
+	li, lj := r.shards[i].Load(), r.shards[j].Load()
+	if lj.Less(li) || (!li.Less(lj) && j < i) {
+		return j // lighter wins; ties break to the lower index
+	}
+	return i
+}
+
+// SubmitNowait routes one job with immediate backpressure. If the
+// chosen shard's queue is full it tries every other shard in index
+// order before returning ErrQueueFull — a job is only rejected when the
+// whole deployment is saturated.
+func (r *Router) SubmitNowait(j *workload.Job) (workload.JobID, error) {
+	k := r.pick()
+	id, err := r.shards[k].SubmitNowait(j)
+	if err == nil {
+		r.routed[k].Inc()
+		return id, nil
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		return 0, err
+	}
+	for o := range r.shards {
+		if o == k {
+			continue
+		}
+		id, oerr := r.shards[o].SubmitNowait(j)
+		if oerr == nil {
+			r.routed[o].Inc()
+			return id, nil
+		}
+		if !errors.Is(oerr, ErrQueueFull) {
+			return 0, oerr
+		}
+	}
+	return 0, err
+}
+
+// Submit routes one job, waiting on the chosen shard's queue until ctx
+// expires (the cancellable-wait entry point, mirroring
+// service.Submit).
+func (r *Router) Submit(ctx context.Context, j *workload.Job) (workload.JobID, error) {
+	// Fast path: immediate placement anywhere.
+	id, err := r.SubmitNowait(j)
+	if !errors.Is(err, ErrQueueFull) {
+		return id, err
+	}
+	// Every queue is full: wait on the currently lightest shard.
+	k := r.pick()
+	id, err = r.shards[k].Submit(ctx, j)
+	if err == nil {
+		r.routed[k].Inc()
+	}
+	return id, err
+}
+
+// Job returns the lifecycle record for one job: the ID's residue class
+// names its owning shard, so exactly one loop is consulted.
+func (r *Router) Job(id workload.JobID) (service.JobInfo, bool) {
+	if id < 1 {
+		return service.JobInfo{}, false
+	}
+	return r.shards[(int(id)-1)%len(r.shards)].Job(id)
+}
+
+// Jobs merges every shard's filtered lifecycle records, sorted by ID.
+func (r *Router) Jobs(f service.JobFilter) []service.JobInfo {
+	var out []service.JobInfo
+	for _, s := range r.shards {
+		out = append(out, s.Jobs(f)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Counts returns job accounting summed across shards.
+func (r *Router) Counts() service.Counts {
+	var c service.Counts
+	for _, s := range r.shards {
+		c.Add(s.Counts())
+	}
+	return c
+}
+
+// Shards returns per-shard status with shard indices stamped.
+func (r *Router) Shards() []service.ShardStatus {
+	out := make([]service.ShardStatus, len(r.shards))
+	for k, s := range r.shards {
+		st := s.Status()
+		st.Shard = k
+		out[k] = st
+	}
+	return out
+}
+
+// Snapshot aggregates the per-shard snapshots into one cluster view:
+// clock is the max over shards (the deployment's frontier), counts and
+// queue depths are summed, utilization is recomputed over the union of
+// servers, and the server list concatenates the partitions in shard
+// order.
+func (r *Router) Snapshot() service.ClusterSnapshot {
+	agg := service.ClusterSnapshot{Shards: len(r.shards)}
+	var usedCPU, usedMem, capCPU, capMem int64
+	for _, s := range r.shards {
+		snap := s.Snapshot()
+		if agg.Scheduler == "" {
+			agg.Scheduler = snap.Scheduler
+		}
+		if snap.Clock > agg.Clock {
+			agg.Clock = snap.Clock
+		}
+		agg.ActiveJobs += snap.ActiveJobs
+		agg.PendingArrival += snap.PendingArrival
+		agg.QueueDepth += snap.QueueDepth
+		agg.Draining = agg.Draining || snap.Draining
+		agg.Jobs.Add(snap.Jobs)
+		for _, srv := range snap.Servers {
+			usedCPU += srv.UsedCPU
+			usedMem += srv.UsedMem
+			capCPU += srv.CPUMilli
+			capMem += srv.MemMiB
+		}
+		agg.Servers = append(agg.Servers, snap.Servers...)
+	}
+	if capCPU > 0 {
+		agg.UtilizationCPU = float64(usedCPU) / float64(capCPU)
+	}
+	if capMem > 0 {
+		agg.UtilizationMem = float64(usedMem) / float64(capMem)
+	}
+	return agg
+}
+
+// Draining reports whether any shard has begun draining.
+func (r *Router) Draining() bool {
+	for _, s := range r.shards {
+		if s.Draining() {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns the first shard scheduling-loop error, if any.
+func (r *Router) Err() error {
+	for _, s := range r.shards {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop drains every shard concurrently: each loop refuses new work,
+// finishes everything accepted, and only when all P loops have drained
+// does Stop return. Shards drain independently — there is no cross-
+// shard work, so no ordering between them matters; the router-level
+// contract is simply "no accepted job anywhere is stranded".
+func (r *Router) Stop(ctx context.Context) error {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for k, s := range r.shards {
+		wg.Add(1)
+		go func(k int, s *service.Service) {
+			defer wg.Done()
+			errs[k] = s.Stop(ctx)
+		}(k, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Results returns every shard's finalized engine metrics, in shard
+// order. Only valid after Stop has returned.
+func (r *Router) Results() []*sim.Result {
+	out := make([]*sim.Result, len(r.shards))
+	for k, s := range r.shards {
+		out[k] = s.Result()
+	}
+	return out
+}
+
+// Metrics returns the shared per-shard registry (tests; /metrics goes
+// through WriteMetrics, which also includes router-level series).
+func (r *Router) Metrics() *metrics.Registry { return r.svcReg }
+
+// WriteMetrics renders the per-shard and router registries as one
+// merged Prometheus exposition.
+func (r *Router) WriteMetrics(w io.Writer) error {
+	for _, s := range r.shards {
+		s.RefreshGauges()
+	}
+	return metrics.WriteMerged(w, r.svcReg, r.rtrReg)
+}
+
+// Re-exported sentinel errors so router callers need not import the
+// service package for errors.Is checks.
+var (
+	ErrQueueFull = service.ErrQueueFull
+	ErrStopped   = service.ErrStopped
+)

@@ -1,37 +1,55 @@
 #!/usr/bin/env bash
 # e2e smoke: boot dollympd on an ephemeral port, push jobs through it
 # with dollymp-load, require every job to complete and /metrics to parse,
-# then check the daemon drains cleanly on SIGTERM.
+# then check the daemon drains cleanly on SIGTERM. Runs twice: once
+# unsharded, once with -shards 4 — the sharded pass also probes the /v1
+# error surface, asserting every failure is the machine-readable
+# envelope {"error":{"code","message"}} and /v1/shards reports the
+# topology.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${SMOKE_JOBS:-50}"
 WORKERS="${SMOKE_WORKERS:-4}"
 BIN="$(mktemp -d)"
-LOG="$BIN/dollympd.log"
 trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+DPID=""
 
 go build -o "$BIN/dollympd" ./cmd/dollympd
 go build -o "$BIN/dollymp-load" ./cmd/dollymp-load
 
-"$BIN/dollympd" -addr 127.0.0.1:0 -deterministic -queue-cap 128 >"$LOG" 2>&1 &
-DPID=$!
+# smoke_pass <shards> [extra load args...]
+smoke_pass() {
+    local shards=$1; shift
+    local LOG="$BIN/dollympd-$shards.log"
 
-# Wait for the bound address to appear in the log.
-ADDR=""
-for _ in $(seq 1 50); do
-    ADDR="$(sed -n 's/^dollympd: listening on \(http:\/\/.*\)$/\1/p' "$LOG")"
-    [ -n "$ADDR" ] && break
-    kill -0 "$DPID" 2>/dev/null || { echo "smoke: daemon died at startup"; cat "$LOG"; exit 1; }
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "smoke: daemon never reported its address"; cat "$LOG"; exit 1; }
-echo "smoke: daemon at $ADDR"
+    "$BIN/dollympd" -addr 127.0.0.1:0 -deterministic -queue-cap 128 -shards "$shards" >"$LOG" 2>&1 &
+    DPID=$!
 
-"$BIN/dollymp-load" -addr "$ADDR" -n "$JOBS" -c "$WORKERS" -wait -timeout 90s
+    # Wait for the bound address to appear in the log.
+    local ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR="$(sed -n 's/^dollympd: listening on \(http:\/\/.*\)$/\1/p' "$LOG")"
+        [ -n "$ADDR" ] && break
+        kill -0 "$DPID" 2>/dev/null || { echo "smoke: daemon died at startup"; cat "$LOG"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "smoke: daemon never reported its address"; cat "$LOG"; exit 1; }
+    echo "smoke: daemon at $ADDR (shards=$shards)"
 
-kill -TERM "$DPID"
-wait "$DPID" || { echo "smoke: daemon exited non-zero"; cat "$LOG"; exit 1; }
-grep -q "drained: $JOBS submitted, $JOBS completed" "$LOG" \
-    || { echo "smoke: drain summary missing or wrong"; cat "$LOG"; exit 1; }
-echo "smoke: OK ($JOBS jobs, clean drain)"
+    # The error surface must be envelope-shaped before, and the happy
+    # path must work during, load.
+    "$BIN/dollymp-load" -addr "$ADDR" -probe -expect-shards "$shards"
+    "$BIN/dollymp-load" -addr "$ADDR" -n "$JOBS" -c "$WORKERS" "$@" -wait -timeout 90s
+
+    kill -TERM "$DPID"
+    wait "$DPID" || { echo "smoke: daemon exited non-zero"; cat "$LOG"; exit 1; }
+    DPID=""
+    grep -q "drained: $JOBS submitted, $JOBS completed" "$LOG" \
+        || { echo "smoke: drain summary missing or wrong"; cat "$LOG"; exit 1; }
+    echo "smoke: OK ($JOBS jobs, shards=$shards, clean drain)"
+}
+
+smoke_pass 1
+smoke_pass 4 -batch 8
+echo "smoke: OK (both passes)"
