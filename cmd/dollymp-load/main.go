@@ -53,6 +53,7 @@ func main() {
 		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline for -wait")
 		probe   = flag.Bool("probe", false, "probe the /v1 error surface (envelope shape, codes) instead of generating load")
 		shards  = flag.Int("expect-shards", 0, "with -probe: assert /v1/shards reports exactly this many shards (0 = skip)")
+		steals  = flag.Int64("min-steals", 0, "with -wait: assert the rebalancer migrated at least this many jobs (0 = skip)")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 	if *probe {
 		err = runProbe(client, *addr, *shards)
 	} else {
-		err = run(client, *addr, *wl, *n, *c, *batch, *qps, *seed, *wait, *timeout)
+		err = run(client, *addr, *wl, *n, *c, *batch, *qps, *seed, *wait, *timeout, *steals)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dollymp-load:", err)
@@ -69,7 +70,7 @@ func main() {
 	}
 }
 
-func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, seed uint64, wait bool, timeout time.Duration) error {
+func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, seed uint64, wait bool, timeout time.Duration, minSteals int64) error {
 	if n < 1 || c < 1 || batch < 1 {
 		return fmt.Errorf("-n, -c and -batch must be positive")
 	}
@@ -154,7 +155,7 @@ func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, see
 	if !wait {
 		return nil
 	}
-	if err := waitComplete(client, addr, int64(n), timeout); err != nil {
+	if err := waitComplete(client, addr, int64(n), minSteals, timeout); err != nil {
 		return err
 	}
 	e2e := time.Since(start)
@@ -250,8 +251,10 @@ func sumByName(samples map[string]metrics.PromSample) map[string]float64 {
 
 // waitComplete polls /metrics until the completed counter reaches want,
 // then cross-checks the scrape against the service's own accounting.
-// Counters are summed across shard labels.
-func waitComplete(client *http.Client, addr string, want int64, timeout time.Duration) error {
+// Counters are summed across shard labels. With minSteals > 0 the
+// rebalancer's migration counter must have reached it — the skewed
+// smoke pass uses this to prove stealing actually fired.
+func waitComplete(client *http.Client, addr string, want, minSteals int64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		samples, err := scrape(client, addr)
@@ -267,7 +270,11 @@ func waitComplete(client *http.Client, addr string, want int64, timeout time.Dur
 			if sub := int64(sums["dollymp_jobs_submitted_total"]); sub < want {
 				return fmt.Errorf("submitted counter %d < %d jobs sent", sub, want)
 			}
-			fmt.Printf("all %d jobs completed; /metrics parses and counters agree\n", completed)
+			stolen := int64(sums["dollymp_router_jobs_stolen_total"])
+			if minSteals > 0 && stolen < minSteals {
+				return fmt.Errorf("rebalancer migrated %d jobs, want >= %d", stolen, minSteals)
+			}
+			fmt.Printf("all %d jobs completed; /metrics parses and counters agree (%d stolen)\n", completed, stolen)
 			return nil
 		}
 		if time.Now().After(deadline) {

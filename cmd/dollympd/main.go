@@ -8,10 +8,14 @@
 //	dollympd -addr 127.0.0.1:0 -queue-cap 256 -deterministic
 //	dollympd -shards 4                     # 4 partitions, p2c routing
 //	dollympd -shards 4 -route single       # deterministic fallback
+//	dollympd -shards 4 -steal              # cross-shard work stealing
 //
 // With -shards N the fleet is partitioned into N disjoint sub-fleets,
 // each with its own scheduling loop, behind a load-aware router; at the
 // default N=1 the daemon behaves exactly like an unsharded service.
+// With -steal a rebalancer migrates still-queued jobs off straggling
+// shards onto near-idle ones (-steal-ratio tunes the imbalance
+// trigger), cutting tail latency when submissions skew to one shard.
 //
 // The daemon prints "listening on http://HOST:PORT" once the socket is
 // bound (with the resolved port, so -addr :0 works for test harnesses),
@@ -47,32 +51,39 @@ func main() {
 		det       = flag.Bool("deterministic", false, "disable duration noise")
 		shards    = flag.Int("shards", 1, "partition count: one scheduling loop per shard")
 		route     = flag.String("route", "p2c", "routing policy: p2c (load-aware) or single (always shard 0)")
+		steal     = flag.Bool("steal", false, "enable the cross-shard rebalancer (migrates queued jobs off straggling shards)")
+		stealR    = flag.Float64("steal-ratio", 0, "queue-depth imbalance factor that triggers a steal (0 = default)")
+		stealIv   = flag.Duration("steal-interval", 0, "rebalancer scan period (0 = default)")
 		drainTO   = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *schedName, *fleetSpec, *seed, *queueCap, *det, *shards, *route, *drainTO); err != nil {
+	cfg := dollymp.RouterConfig{
+		Shards:        *shards,
+		Seed:          *seed,
+		Deterministic: *det,
+		QueueCap:      *queueCap,
+		Policy:        dollymp.RoutePolicy(*route),
+		Steal:         *steal,
+		StealRatio:    *stealR,
+		StealInterval: *stealIv,
+	}
+	if err := run(*addr, *schedName, *fleetSpec, cfg, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, "dollympd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool, shards int, route string, drainTO time.Duration) error {
-	fleet, err := dollymp.NewFleet(fleetSpec, seed)
+func run(addr, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO time.Duration) error {
+	fleet, err := dollymp.NewFleet(fleetSpec, cfg.Seed)
 	if err != nil {
 		return err
 	}
-	router, err := dollymp.NewRouter(dollymp.RouterConfig{
-		Fleet:  fleet,
-		Shards: shards,
-		NewScheduler: func(int) (dollymp.Scheduler, error) {
-			return dollymp.NewScheduler(dollymp.Kind(schedName))
-		},
-		Seed:          seed,
-		Deterministic: det,
-		QueueCap:      queueCap,
-		Policy:        dollymp.RoutePolicy(route),
-	})
+	cfg.Fleet = fleet
+	cfg.NewScheduler = func(int) (dollymp.Scheduler, error) {
+		return dollymp.NewScheduler(dollymp.Kind(schedName))
+	}
+	router, err := dollymp.NewRouter(cfg)
 	if err != nil {
 		return err
 	}
@@ -84,8 +95,8 @@ func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool,
 	router.Start()
 	srv := &http.Server{Handler: dollymp.NewAPIHandler(router)}
 
-	fmt.Printf("dollympd: scheduler=%s fleet=%s shards=%d route=%s queue-cap=%d\n",
-		schedName, fleetSpec, router.NumShards(), route, queueCap)
+	fmt.Printf("dollympd: scheduler=%s fleet=%s shards=%d route=%s queue-cap=%d steal=%v\n",
+		schedName, fleetSpec, router.NumShards(), cfg.Policy, cfg.QueueCap, cfg.Steal)
 	fmt.Printf("dollympd: listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -119,8 +130,8 @@ func run(addr, schedName, fleetSpec string, seed uint64, queueCap int, det bool,
 			makespan = res.Makespan
 		}
 	}
-	fmt.Printf("dollympd: drained: %d submitted, %d completed, %d rejected, makespan %d slots\n",
-		c.Submitted, c.Completed, c.Rejected, makespan)
+	fmt.Printf("dollympd: drained: %d submitted, %d completed, %d rejected, %d stolen, makespan %d slots\n",
+		c.Submitted, c.Completed, c.Rejected, router.Stolen(), makespan)
 	if done := router.Jobs(dollymp.JobFilter{State: service.StateCompleted}); len(done) > 0 {
 		flows := make([]float64, len(done))
 		var sum float64

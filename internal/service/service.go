@@ -18,7 +18,9 @@
 // Config.Registry/MetricLabels let the router collect every shard's
 // series in one view, and Config.IDBase/IDStride carve the job-ID space
 // into disjoint residue classes so IDs stay globally unique without
-// cross-shard coordination.
+// cross-shard coordination. The donation API (StealQueued/InjectQueued)
+// lets the router's rebalancer migrate still-queued jobs between shards
+// without either engine being touched by a foreign goroutine.
 package service
 
 import (
@@ -217,8 +219,9 @@ type Service struct {
 	doneCh   chan struct{}
 	started  atomic.Bool
 
-	mu       sync.RWMutex
-	stopping bool // guarded by mu: serializes Submit against drain exit
+	mu         sync.RWMutex
+	stopping   bool // guarded by mu: serializes Submit against drain exit
+	loopExited bool // guarded by mu: the loop took its drain-exit decision
 	jobs     map[workload.JobID]*JobInfo
 	nextID   workload.JobID
 	counts   Counts
@@ -411,6 +414,129 @@ func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, err
 	return id, nil
 }
 
+// StealQueued removes and returns up to max still-queued jobs — the
+// work-stealing donation path. Only jobs sitting in the admission queue
+// are stealable: once the loop has admitted a job into its engine it is
+// owned by that engine for good. The extraction runs entirely under mu
+// (queue receive, lifecycle-record removal, accounting), so it respects
+// the single-writer contract — the engine is never touched — and a
+// racing admit simply wins the job: each queue entry goes to exactly
+// one of the loop or the thief. A draining service donates nothing; its
+// own loop is already committed to finishing the queue.
+//
+// The caller (the shard rebalancer) takes ownership of the returned
+// jobs and must re-home every one of them via InjectQueued; the jobs
+// keep their assigned IDs.
+func (s *Service) StealQueued(max int) []*workload.Job {
+	if max <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return nil
+	}
+	var out []*workload.Job
+	for len(out) < max {
+		select {
+		case j := <-s.subCh:
+			if info := s.jobs[j.ID]; info != nil {
+				s.tasksOut -= int64(info.Tasks)
+				delete(s.jobs, j.ID)
+			}
+			s.counts.Submitted--
+			out = append(out, j)
+		default:
+			// Queue empty (or the loop drained the rest first).
+			goto drained
+		}
+	}
+drained:
+	if len(out) > 0 {
+		// The steal freed queue space: wake blocked Submit waiters just
+		// like an admission does.
+		close(s.admitCh)
+		s.admitCh = make(chan struct{})
+	}
+	return out
+}
+
+// InjectQueued accepts migrated jobs that already carry IDs from
+// another shard's residue class — the receiving half of the donation
+// path. Jobs are registered and enqueued exactly like a fresh
+// submission except that the service does not assign IDs and does not
+// bump the submission metric (the job was already counted where it
+// first arrived; Counts.Submitted moves shard-to-shard so the
+// deployment-wide sum is invariant). Returns how many jobs were
+// accepted, always a prefix of jobs — a full queue or a draining
+// service stops the intake and the caller re-homes the rest.
+func (s *Service) InjectQueued(jobs []*workload.Job) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return 0
+	}
+	n := 0
+	for _, j := range jobs {
+		info := &JobInfo{
+			ID: j.ID, Name: j.Name, App: j.App, State: StateQueued,
+			Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
+		}
+		// Register before the send: the loop may admit immediately.
+		s.jobs[j.ID] = info
+		select {
+		case s.subCh <- j:
+			s.counts.Submitted++
+			s.tasksOut += int64(info.Tasks)
+			n++
+		default:
+			delete(s.jobs, j.ID)
+			return n
+		}
+	}
+	return n
+}
+
+// ForceRequeue puts stolen jobs back even on a draining service — the
+// last-resort leg of a migration whose every candidate target started
+// draining mid-flight. The router's Stop quiesces the rebalancer before
+// any shard drains, so this path is unreachable in the router
+// lifecycle; it exists so a direct per-shard Stop racing a migration
+// surfaces loudly instead of silently dropping accepted jobs: a job
+// that cannot be requeued (queue refilled, or the loop already took its
+// drain-exit decision) fails the service. A draining-but-running loop
+// still finishes its queue, so requeued jobs complete; the loop-exit
+// decision and this enqueue share mu, so the loop either sees the
+// refilled queue and keeps draining or had already exited and the
+// requeue is refused.
+func (s *Service) ForceRequeue(jobs []*workload.Job) {
+	s.mu.Lock()
+	var stranded []workload.JobID
+	for _, j := range jobs {
+		if s.loopExited {
+			stranded = append(stranded, j.ID)
+			continue
+		}
+		info := &JobInfo{
+			ID: j.ID, Name: j.Name, App: j.App, State: StateQueued,
+			Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
+		}
+		s.jobs[j.ID] = info
+		select {
+		case s.subCh <- j:
+			s.counts.Submitted++
+			s.tasksOut += int64(info.Tasks)
+		default:
+			delete(s.jobs, j.ID)
+			stranded = append(stranded, j.ID)
+		}
+	}
+	s.mu.Unlock()
+	if len(stranded) > 0 {
+		s.fail(fmt.Errorf("service: %d migrated jobs could not be requeued (first: %d)", len(stranded), stranded[0]))
+	}
+}
+
 // Job returns the lifecycle record for one job.
 func (s *Service) Job(id workload.JobID) (JobInfo, bool) {
 	s.mu.RLock()
@@ -446,15 +572,18 @@ func (s *Service) Counts() Counts {
 
 // Load returns the routing signal: queue depth plus outstanding job and
 // task volume. Cheap enough for the router to call on every placement.
+// All three fields are read under one critical section so p2c
+// comparisons never see a torn (QueueDepth, Tasks) pair — the queue
+// length and the accounting it must agree with change together under mu
+// on the submit and steal paths.
 func (s *Service) Load() Load {
 	s.mu.RLock()
-	l := Load{
-		Jobs:  s.counts.Submitted - s.counts.Completed,
-		Tasks: s.tasksOut,
+	defer s.mu.RUnlock()
+	return Load{
+		QueueDepth: len(s.subCh),
+		Jobs:       s.counts.Submitted - s.counts.Completed,
+		Tasks:      s.tasksOut,
 	}
-	s.mu.RUnlock()
-	l.QueueDepth = len(s.subCh)
-	return l
 }
 
 // Draining reports whether a drain has begun (Stop called or the loop
@@ -467,18 +596,19 @@ func (s *Service) Draining() bool {
 }
 
 // Status returns the service's slice of a /v1/shards response, with
-// Shard left at 0 — the router stamps the index.
+// Shard left at 0 — the router stamps the index. The queue depth is
+// snapshotted under the same critical section as the counts, so
+// /v1/shards rows are internally consistent.
 func (s *Service) Status() ShardStatus {
 	s.mu.RLock()
-	st := ShardStatus{
+	defer s.mu.RUnlock()
+	return ShardStatus{
+		QueueDepth: len(s.subCh),
 		ActiveJobs: s.snap.ActiveJobs,
 		Clock:      s.clock,
 		Draining:   s.stopping,
 		Jobs:       s.counts,
 	}
-	s.mu.RUnlock()
-	st.QueueDepth = len(s.subCh)
-	return st
 }
 
 // Shards returns the single-loop view of /v1/shards: one entry. Part of
@@ -486,14 +616,15 @@ func (s *Service) Status() ShardStatus {
 func (s *Service) Shards() []ShardStatus { return []ShardStatus{s.Status()} }
 
 // Snapshot returns the most recent cluster/queue snapshot. The queue
-// depth and draining flag are read live; everything else is the state
-// the loop published after its last step.
+// depth, counts, and draining flag are read live under one critical
+// section; everything else is the state the loop published after its
+// last step.
 func (s *Service) Snapshot() ClusterSnapshot {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap := s.snap
 	snap.Jobs = s.counts
 	snap.Draining = s.stopping
-	s.mu.RUnlock()
 	snap.QueueDepth = len(s.subCh)
 	return snap
 }
@@ -555,12 +686,16 @@ func (s *Service) run() {
 		}
 		if s.eng.Idle() {
 			s.publish()
-			// The exit decision holds the lock Submit writes under, so
-			// every accepted job is either visible in the queue here or
-			// its Submit ran after stopping was set and was rejected.
-			s.mu.RLock()
+			// The exit decision holds the lock Submit and the donation
+			// API write under, so every accepted job is either visible
+			// in the queue here or its submission/requeue ran after the
+			// decision and was refused (stopping / loopExited).
+			s.mu.Lock()
 			stopping, empty := s.stopping, len(s.subCh) == 0
-			s.mu.RUnlock()
+			if stopping && empty {
+				s.loopExited = true
+			}
+			s.mu.Unlock()
 			if stopping {
 				if empty {
 					return // drained: queue empty, engine idle

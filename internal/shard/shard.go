@@ -16,7 +16,17 @@
 // Job IDs stay globally unique without cross-shard coordination: shard
 // k allocates IDs k+1, k+1+P, k+1+2P, ... (service.Config.IDBase/
 // IDStride), so the owner of any ID is (id-1) mod P and lookups touch
-// exactly one shard.
+// exactly one shard — unless the job has been migrated, in which case
+// the router's ownership map names its current home.
+//
+// Placement happens at submission time, so a shard that falls behind
+// would keep its backlog while siblings idle. With Config.Steal a
+// rebalancer goroutine watches per-shard loads and migrates still-
+// queued (not yet admitted) jobs from a straggling shard's admission
+// queue to a near-idle one — the paper's straggler mitigation applied
+// one level up, to shards instead of tasks. Stealing is off by default
+// and a steal-free router is bit-for-bit identical to one built before
+// the rebalancer existed.
 package shard
 
 import (
@@ -27,6 +37,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dollymp/internal/cluster"
 	"dollymp/internal/metrics"
@@ -72,7 +84,37 @@ type Config struct {
 	// Policy is the routing policy; empty means RouteP2C. A single
 	// shard always routes deterministically regardless of policy.
 	Policy RoutePolicy
+
+	// Steal enables the cross-shard rebalancer: a background goroutine
+	// that migrates still-queued jobs from a straggling shard to a
+	// near-idle one. Off by default; with stealing off the router's
+	// behavior is identical to a router without the mechanism.
+	Steal bool
+	// StealRatio is the imbalance trigger: a migration fires only when
+	// the victim's queue depth is at least StealRatio times the thief's
+	// (plus one, so an empty thief still needs a non-trivial victim).
+	// 0 means DefaultStealRatio.
+	StealRatio float64
+	// StealInterval is the rebalancer's scan period; 0 means
+	// DefaultStealInterval.
+	StealInterval time.Duration
+	// StealMax caps the jobs migrated per steal event; 0 means
+	// unbounded (half the queue-depth gap moves).
+	StealMax int
 }
+
+// Rebalancer defaults.
+const (
+	// DefaultStealRatio is the victim/thief queue-depth imbalance
+	// factor that triggers a migration.
+	DefaultStealRatio = 2.0
+	// DefaultStealInterval is how often the rebalancer scans loads.
+	DefaultStealInterval = 500 * time.Microsecond
+	// stealNearEmpty is the thief-side gate: only a shard whose queue
+	// is at most this deep may steal — a busy shard fixing another
+	// busy shard just moves the backlog around.
+	stealNearEmpty = 1
+)
 
 // Router fans one service API out over P scheduling loops. It
 // implements service.API, so service.NewHandler mounts the HTTP surface
@@ -87,6 +129,22 @@ type Router struct {
 
 	mu  sync.Mutex
 	rng *stats.RNG
+
+	// Work-stealing state (used only when cfg.Steal).
+	//
+	// migMu serializes migrations against ID lookups: a migration moves
+	// a job's lifecycle record from one shard's map to another's and
+	// updates the ownership map, and readers holding migMu.RLock never
+	// observe the in-between state (job on neither shard, or on both).
+	migMu     sync.RWMutex
+	owned     map[workload.JobID]int // migrated job -> current shard; guarded by migMu
+	stolen    atomic.Int64           // total jobs migrated off their submission shard
+	mStolen   []*metrics.Counter     // jobs stolen from shard k
+	mInjected []*metrics.Counter     // jobs migrated into shard k
+	stealRun  atomic.Bool            // rebalancer goroutine launched
+	stealStop chan struct{}
+	stealOnce sync.Once
+	stealDone chan struct{}
 }
 
 // Compile-time check: the router serves the same HTTP surface as a
@@ -115,15 +173,32 @@ func New(cfg Config) (*Router, error) {
 	default:
 		return nil, fmt.Errorf("shard: unknown route policy %q (valid: %s, %s)", cfg.Policy, RouteP2C, RouteSingle)
 	}
+	if cfg.StealRatio == 0 {
+		cfg.StealRatio = DefaultStealRatio
+	}
+	if cfg.StealRatio < 1 {
+		return nil, fmt.Errorf("shard: steal ratio %g < 1", cfg.StealRatio)
+	}
+	if cfg.StealInterval == 0 {
+		cfg.StealInterval = DefaultStealInterval
+	}
+	if cfg.StealInterval < 0 || cfg.StealMax < 0 {
+		return nil, fmt.Errorf("shard: negative steal interval or batch cap")
+	}
 	parts, err := cluster.Partition(cfg.Fleet, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
 	r := &Router{
-		cfg:    cfg,
-		svcReg: metrics.NewRegistry(),
-		rtrReg: metrics.NewRegistry(),
-		rng:    stats.NewRNG(cfg.Seed).Split(0x5a5a),
+		cfg:       cfg,
+		svcReg:    metrics.NewRegistry(),
+		rtrReg:    metrics.NewRegistry(),
+		rng:       stats.NewRNG(cfg.Seed).Split(0x5a5a),
+		stealStop: make(chan struct{}),
+		stealDone: make(chan struct{}),
+	}
+	if cfg.Steal {
+		r.owned = make(map[workload.JobID]int)
 	}
 	for k := 0; k < cfg.Shards; k++ {
 		policy, err := cfg.NewScheduler(k)
@@ -148,20 +223,35 @@ func New(cfg Config) (*Router, error) {
 		r.shards = append(r.shards, svc)
 		r.routed = append(r.routed, r.rtrReg.Counter("dollymp_router_jobs_routed_total",
 			"Jobs placed on a shard by the router.", metrics.Labels{"shard": strconv.Itoa(k)}))
+		if cfg.Steal {
+			r.mStolen = append(r.mStolen, r.rtrReg.Counter("dollymp_router_jobs_stolen_total",
+				"Queued jobs the rebalancer migrated away from a shard.", metrics.Labels{"shard": strconv.Itoa(k)}))
+			r.mInjected = append(r.mInjected, r.rtrReg.Counter("dollymp_router_jobs_injected_total",
+				"Queued jobs the rebalancer migrated into a shard.", metrics.Labels{"shard": strconv.Itoa(k)}))
+		}
 	}
 	return r, nil
 }
 
-// Shards returns the partition count P.
+// NumShards returns the partition count P. (Per-shard status rows come
+// from Shards; this is just the count.)
 func (r *Router) NumShards() int { return len(r.shards) }
 
 // Shard returns shard k's service (tests and embedders).
 func (r *Router) Shard(k int) *service.Service { return r.shards[k] }
 
-// Start launches every shard's scheduling loop. Idempotent.
+// Stolen returns the total number of jobs the rebalancer has migrated
+// off their submission shard. Always 0 with stealing disabled.
+func (r *Router) Stolen() int64 { return r.stolen.Load() }
+
+// Start launches every shard's scheduling loop and, with Config.Steal,
+// the rebalancer goroutine. Idempotent.
 func (r *Router) Start() {
 	for _, s := range r.shards {
 		s.Start()
+	}
+	if r.cfg.Steal && len(r.shards) > 1 && r.stealRun.CompareAndSwap(false, true) {
+		go r.rebalance()
 	}
 }
 
@@ -186,64 +276,136 @@ func (r *Router) pick() int {
 }
 
 // SubmitNowait routes one job with immediate backpressure. If the
-// chosen shard's queue is full it tries every other shard in index
-// order before returning ErrQueueFull — a job is only rejected when the
-// whole deployment is saturated.
+// chosen shard's queue is full — or that shard is draining — it tries
+// every other shard in index order: a job is only rejected when the
+// whole deployment is saturated (ErrQueueFull) or every shard is
+// draining (ErrStopped). A single stopped shard never refuses work the
+// rest of the deployment could take.
 func (r *Router) SubmitNowait(j *workload.Job) (workload.JobID, error) {
 	k := r.pick()
-	id, err := r.shards[k].SubmitNowait(j)
-	if err == nil {
-		r.routed[k].Inc()
-		return id, nil
-	}
-	if !errors.Is(err, ErrQueueFull) {
-		return 0, err
-	}
-	for o := range r.shards {
-		if o == k {
-			continue
-		}
-		id, oerr := r.shards[o].SubmitNowait(j)
-		if oerr == nil {
+	sawFull := false
+	for n := 0; n < len(r.shards); n++ {
+		o := (k + n) % len(r.shards)
+		id, err := r.shards[o].SubmitNowait(j)
+		switch {
+		case err == nil:
 			r.routed[o].Inc()
 			return id, nil
-		}
-		if !errors.Is(oerr, ErrQueueFull) {
-			return 0, oerr
+		case errors.Is(err, ErrQueueFull):
+			sawFull = true
+		case errors.Is(err, ErrStopped):
+			// Draining shard: fall through to its live siblings.
+		default:
+			return 0, err // validation error; identical on every shard
 		}
 	}
-	return 0, err
+	if sawFull {
+		return 0, ErrQueueFull
+	}
+	return 0, ErrStopped
 }
 
-// Submit routes one job, waiting on the chosen shard's queue until ctx
-// expires (the cancellable-wait entry point, mirroring
-// service.Submit).
+// Submit routes one job, waiting for queue space somewhere in the
+// deployment until ctx expires (the cancellable-wait entry point,
+// mirroring service.Submit). The wait re-picks in a loop with bounded
+// backoff rather than parking on one shard forever: if the shard it
+// waits on starts draining (ErrStopped) or a sibling frees space first,
+// the waiter falls through to the live shards instead of failing or
+// staying stuck.
 func (r *Router) Submit(ctx context.Context, j *workload.Job) (workload.JobID, error) {
-	// Fast path: immediate placement anywhere.
-	id, err := r.SubmitNowait(j)
-	if !errors.Is(err, ErrQueueFull) {
-		return id, err
+	const maxWait = 50 * time.Millisecond
+	wait := time.Millisecond
+	for {
+		// Fast path: immediate placement anywhere live.
+		id, err := r.SubmitNowait(j)
+		if err == nil || !errors.Is(err, ErrQueueFull) {
+			return id, err // placed, all-draining ErrStopped, or invalid
+		}
+		// Every live queue is full: wait on the lightest live shard,
+		// but only briefly — space freed on a sibling (or a steal)
+		// should be noticed without waiting for this shard's admits.
+		k, ok := r.pickLive()
+		if !ok {
+			return 0, ErrStopped
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, wait)
+		id, err = r.shards[k].Submit(waitCtx, j)
+		cancel()
+		switch {
+		case err == nil:
+			r.routed[k].Inc()
+			return id, nil
+		case ctx.Err() != nil:
+			return 0, ctx.Err()
+		case errors.Is(err, ErrStopped), errors.Is(err, context.DeadlineExceeded):
+			// The shard drained mid-wait or the bounded wait expired:
+			// re-pick against the rest of the deployment.
+			if wait < maxWait {
+				wait *= 2
+			}
+		default:
+			return 0, err
+		}
 	}
-	// Every queue is full: wait on the currently lightest shard.
-	k := r.pick()
-	id, err = r.shards[k].Submit(ctx, j)
-	if err == nil {
-		r.routed[k].Inc()
-	}
-	return id, err
 }
 
-// Job returns the lifecycle record for one job: the ID's residue class
-// names its owning shard, so exactly one loop is consulted.
+// pickLive chooses the shard whose queue a blocked Submit should wait
+// on: two-choice on load over the non-draining shards (first live shard
+// under RouteSingle). ok is false when every shard is draining.
+func (r *Router) pickLive() (k int, ok bool) {
+	live := make([]int, 0, len(r.shards))
+	for i, s := range r.shards {
+		if !s.Draining() {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return 0, false
+	}
+	if len(live) == 1 || r.cfg.Policy == RouteSingle {
+		return live[0], true
+	}
+	r.mu.Lock()
+	i := r.rng.Intn(len(live))
+	j := r.rng.Intn(len(live) - 1)
+	r.mu.Unlock()
+	if j >= i {
+		j++
+	}
+	i, j = live[i], live[j]
+	li, lj := r.shards[i].Load(), r.shards[j].Load()
+	if lj.Less(li) || (!li.Less(lj) && j < i) {
+		return j, true
+	}
+	return i, true
+}
+
+// Job returns the lifecycle record for one job. The ownership map is
+// consulted first — a migrated job lives on the shard that stole it,
+// not in its ID's residue class — and the residue-class shard
+// ((id-1) mod P) is the fallback for never-migrated jobs, so exactly
+// one loop is consulted either way. Holding migMu across the lookup
+// means a job mid-migration is seen at its old home or its new one,
+// never at neither.
 func (r *Router) Job(id workload.JobID) (service.JobInfo, bool) {
 	if id < 1 {
 		return service.JobInfo{}, false
 	}
-	return r.shards[(int(id)-1)%len(r.shards)].Job(id)
+	r.migMu.RLock()
+	defer r.migMu.RUnlock()
+	k, ok := r.owned[id]
+	if !ok {
+		k = (int(id) - 1) % len(r.shards)
+	}
+	return r.shards[k].Job(id)
 }
 
 // Jobs merges every shard's filtered lifecycle records, sorted by ID.
+// Taken under the migration lock so a job moving between shards is
+// listed exactly once.
 func (r *Router) Jobs(f service.JobFilter) []service.JobInfo {
+	r.migMu.RLock()
+	defer r.migMu.RUnlock()
 	var out []service.JobInfo
 	for _, s := range r.shards {
 		out = append(out, s.Jobs(f)...)
@@ -252,8 +414,12 @@ func (r *Router) Jobs(f service.JobFilter) []service.JobInfo {
 	return out
 }
 
-// Counts returns job accounting summed across shards.
+// Counts returns job accounting summed across shards, under the
+// migration lock: a migration moves Submitted from victim to thief, and
+// the sum must never be observed mid-move.
 func (r *Router) Counts() service.Counts {
+	r.migMu.RLock()
+	defer r.migMu.RUnlock()
 	var c service.Counts
 	for _, s := range r.shards {
 		c.Add(s.Counts())
@@ -278,6 +444,8 @@ func (r *Router) Shards() []service.ShardStatus {
 // servers, and the server list concatenates the partitions in shard
 // order.
 func (r *Router) Snapshot() service.ClusterSnapshot {
+	r.migMu.RLock()
+	defer r.migMu.RUnlock()
 	agg := service.ClusterSnapshot{Shards: len(r.shards)}
 	var usedCPU, usedMem, capCPU, capMem int64
 	for _, s := range r.shards {
@@ -330,12 +498,152 @@ func (r *Router) Err() error {
 	return nil
 }
 
+// rebalance is the work-stealing loop: every StealInterval it scans
+// per-shard loads and migrates queued jobs off stragglers. It runs
+// until Stop quiesces it — before any shard begins draining, so no
+// migration is ever in flight during a drain.
+func (r *Router) rebalance() {
+	defer close(r.stealDone)
+	tk := time.NewTicker(r.cfg.StealInterval)
+	defer tk.Stop()
+	for {
+		select {
+		case <-r.stealStop:
+			return
+		case <-tk.C:
+			r.rebalanceOnce()
+		}
+	}
+}
+
+// rebalanceOnce runs one scan, migrating between as many victim/thief
+// pairs as qualify (at most P-1), and returns the jobs moved. Exposed
+// to tests for deterministic, ticker-free driving.
+func (r *Router) rebalanceOnce() int {
+	moved := 0
+	for range r.shards {
+		n := r.rebalanceStep()
+		if n == 0 {
+			break
+		}
+		moved += n
+	}
+	return moved
+}
+
+// rebalanceStep finds the heaviest (victim) and lightest (thief) live
+// shards and migrates queued jobs when the imbalance passes the
+// trigger: thief near-empty and victim's queue at least StealRatio
+// times the thief's.
+func (r *Router) rebalanceStep() int {
+	victim, thief := -1, -1
+	var lv, lt service.Load
+	for k, s := range r.shards {
+		if s.Draining() {
+			continue
+		}
+		l := s.Load()
+		if victim < 0 || lv.Less(l) {
+			victim, lv = k, l
+		}
+		if thief < 0 || l.Less(lt) {
+			thief, lt = k, l
+		}
+	}
+	if victim < 0 || thief < 0 || victim == thief {
+		return 0
+	}
+	if lt.QueueDepth > stealNearEmpty {
+		return 0
+	}
+	if float64(lv.QueueDepth) < r.cfg.StealRatio*float64(lt.QueueDepth+1) {
+		return 0
+	}
+	n := (lv.QueueDepth - lt.QueueDepth) / 2
+	if n < 1 {
+		return 0
+	}
+	if r.cfg.StealMax > 0 && n > r.cfg.StealMax {
+		n = r.cfg.StealMax
+	}
+	return r.migrate(victim, thief, n)
+}
+
+// migrate moves up to n queued jobs from victim to thief and records
+// their new owner. A thief that cannot take everything (queue filled or
+// drain began mid-flight) triggers the fallback chain: the remaining
+// live shards, then the victim itself, then ForceRequeue — extracted
+// jobs always land somewhere. Returns the jobs that left the victim.
+func (r *Router) migrate(victim, thief, n int) int {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+	jobs := r.shards[victim].StealQueued(n)
+	if len(jobs) == 0 {
+		return 0
+	}
+	rest := jobs
+	placed := 0
+	place := func(k int) {
+		if len(rest) == 0 || k == victim {
+			return
+		}
+		if acc := r.shards[k].InjectQueued(rest); acc > 0 {
+			r.noteOwner(rest[:acc], k)
+			r.mInjected[k].Add(float64(acc))
+			placed += acc
+			rest = rest[acc:]
+		}
+	}
+	place(thief)
+	for k := range r.shards {
+		place(k)
+	}
+	if len(rest) > 0 {
+		// No live shard could take them: give them back to the victim.
+		if acc := r.shards[victim].InjectQueued(rest); acc > 0 {
+			r.noteOwner(rest[:acc], victim)
+			rest = rest[acc:]
+		}
+	}
+	if len(rest) > 0 {
+		// Victim started draining since the steal: force the jobs back
+		// into its queue (a draining loop still finishes its queue).
+		r.shards[victim].ForceRequeue(rest)
+		r.noteOwner(rest, victim)
+	}
+	if placed > 0 {
+		r.mStolen[victim].Add(float64(placed))
+		r.stolen.Add(int64(placed))
+	}
+	return placed
+}
+
+// noteOwner records where migrated jobs now live. A job back in its
+// ID's residue class needs no entry — the arithmetic fallback finds it.
+// Caller holds migMu.
+func (r *Router) noteOwner(jobs []*workload.Job, k int) {
+	for _, j := range jobs {
+		if (int(j.ID)-1)%len(r.shards) == k {
+			delete(r.owned, j.ID)
+		} else {
+			r.owned[j.ID] = k
+		}
+	}
+}
+
 // Stop drains every shard concurrently: each loop refuses new work,
 // finishes everything accepted, and only when all P loops have drained
-// does Stop return. Shards drain independently — there is no cross-
-// shard work, so no ordering between them matters; the router-level
-// contract is simply "no accepted job anywhere is stranded".
+// does Stop return. The rebalancer is quiesced first — Stop joins the
+// goroutine, waiting out any in-flight migration — so the drain starts
+// with every accepted job sitting on exactly one shard. Shards then
+// drain independently — there is no cross-shard work left, so no
+// ordering between them matters; the router-level contract is simply
+// "no accepted job anywhere is stranded".
 func (r *Router) Stop(ctx context.Context) error {
+	r.stealOnce.Do(func() { close(r.stealStop) })
+	if r.stealRun.Load() {
+		<-r.stealDone
+	}
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
 	for k, s := range r.shards {

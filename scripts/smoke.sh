@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # e2e smoke: boot dollympd on an ephemeral port, push jobs through it
 # with dollymp-load, require every job to complete and /metrics to parse,
-# then check the daemon drains cleanly on SIGTERM. Runs twice: once
-# unsharded, once with -shards 4 — the sharded pass also probes the /v1
-# error surface, asserting every failure is the machine-readable
-# envelope {"error":{"code","message"}} and /v1/shards reports the
-# topology.
+# then check the daemon drains cleanly on SIGTERM. Runs three times:
+# unsharded; with -shards 4 (this pass also probes the /v1 error
+# surface, asserting every failure is the machine-readable envelope
+# {"error":{"code","message"}} and /v1/shards reports the topology); and
+# with -shards 4 -route single -steal, skewing every submission onto
+# shard 0 and requiring the rebalancer to migrate jobs off it (non-zero
+# steal counter, all jobs still complete).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,12 +20,14 @@ DPID=""
 go build -o "$BIN/dollympd" ./cmd/dollympd
 go build -o "$BIN/dollymp-load" ./cmd/dollymp-load
 
-# smoke_pass <shards> [extra load args...]
+# smoke_pass <shards> <njobs> <daemon extra args> [extra load args...]
 smoke_pass() {
-    local shards=$1; shift
-    local LOG="$BIN/dollympd-$shards.log"
+    local shards=$1 njobs=$2 dargs=$3; shift 3
+    local LOG="$BIN/dollympd-$shards${dargs// /}.log"
 
-    "$BIN/dollympd" -addr 127.0.0.1:0 -deterministic -queue-cap 128 -shards "$shards" >"$LOG" 2>&1 &
+    # shellcheck disable=SC2086
+    "$BIN/dollympd" -addr 127.0.0.1:0 -deterministic -queue-cap 128 \
+        -shards "$shards" $dargs >"$LOG" 2>&1 &
     DPID=$!
 
     # Wait for the bound address to appear in the log.
@@ -35,21 +39,25 @@ smoke_pass() {
         sleep 0.1
     done
     [ -n "$ADDR" ] || { echo "smoke: daemon never reported its address"; cat "$LOG"; exit 1; }
-    echo "smoke: daemon at $ADDR (shards=$shards)"
+    echo "smoke: daemon at $ADDR (shards=$shards${dargs:+ $dargs})"
 
     # The error surface must be envelope-shaped before, and the happy
     # path must work during, load.
     "$BIN/dollymp-load" -addr "$ADDR" -probe -expect-shards "$shards"
-    "$BIN/dollymp-load" -addr "$ADDR" -n "$JOBS" -c "$WORKERS" "$@" -wait -timeout 90s
+    "$BIN/dollymp-load" -addr "$ADDR" -n "$njobs" -c "$WORKERS" "$@" -wait -timeout 90s
 
     kill -TERM "$DPID"
     wait "$DPID" || { echo "smoke: daemon exited non-zero"; cat "$LOG"; exit 1; }
     DPID=""
-    grep -q "drained: $JOBS submitted, $JOBS completed" "$LOG" \
+    grep -q "drained: $njobs submitted, $njobs completed" "$LOG" \
         || { echo "smoke: drain summary missing or wrong"; cat "$LOG"; exit 1; }
-    echo "smoke: OK ($JOBS jobs, shards=$shards, clean drain)"
+    echo "smoke: OK ($njobs jobs, shards=$shards${dargs:+ $dargs}, clean drain)"
 }
 
-smoke_pass 1
-smoke_pass 4 -batch 8
-echo "smoke: OK (both passes)"
+smoke_pass 1 "$JOBS" ""
+smoke_pass 4 "$JOBS" "" -batch 8
+# Skewed pass: -route single funnels everything onto shard 0's queue;
+# -min-steals requires the rebalancer to have actually migrated work.
+smoke_pass 4 $((JOBS * 8)) "-route single -steal -steal-interval 200us" \
+    -batch 8 -min-steals 1
+echo "smoke: OK (all passes)"
