@@ -17,6 +17,13 @@
 //	dollymp-load -addr http://127.0.0.1:8080 -n 50 -c 4 -wait
 //	dollymp-load -addr http://127.0.0.1:8080 -n 5000 -c 8 -batch 32 -wait
 //	dollymp-load -addr http://127.0.0.1:8080 -probe -expect-shards 4
+//	dollymp-load -addr http://127.0.0.1:8080 -n 50 -watch -min-replayed 1
+//
+// With -watch nothing is submitted: the generator only waits for -n
+// jobs to reach completed — the kill-and-restart smoke pass uses it
+// against a daemon that replayed its journal, with -min-replayed
+// asserting the restart actually restored jobs rather than starting
+// empty.
 package main
 
 import (
@@ -54,15 +61,20 @@ func main() {
 		probe   = flag.Bool("probe", false, "probe the /v1 error surface (envelope shape, codes) instead of generating load")
 		shards  = flag.Int("expect-shards", 0, "with -probe: assert /v1/shards reports exactly this many shards (0 = skip)")
 		steals  = flag.Int64("min-steals", 0, "with -wait: assert the rebalancer migrated at least this many jobs (0 = skip)")
+		watch   = flag.Bool("watch", false, "submit nothing; wait for -n jobs to complete (post-restart verification)")
+		replay  = flag.Int64("min-replayed", 0, "with -wait/-watch: assert the journal replayed at least this many jobs (0 = skip)")
 	)
 	flag.Parse()
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	var err error
-	if *probe {
+	switch {
+	case *probe:
 		err = runProbe(client, *addr, *shards)
-	} else {
-		err = run(client, *addr, *wl, *n, *c, *batch, *qps, *seed, *wait, *timeout, *steals)
+	case *watch:
+		err = waitComplete(client, *addr, int64(*n), *steals, *replay, *timeout)
+	default:
+		err = run(client, *addr, *wl, *n, *c, *batch, *qps, *seed, *wait, *timeout, *steals, *replay)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dollymp-load:", err)
@@ -70,7 +82,7 @@ func main() {
 	}
 }
 
-func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, seed uint64, wait bool, timeout time.Duration, minSteals int64) error {
+func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, seed uint64, wait bool, timeout time.Duration, minSteals, minReplayed int64) error {
 	if n < 1 || c < 1 || batch < 1 {
 		return fmt.Errorf("-n, -c and -batch must be positive")
 	}
@@ -155,7 +167,7 @@ func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, see
 	if !wait {
 		return nil
 	}
-	if err := waitComplete(client, addr, int64(n), minSteals, timeout); err != nil {
+	if err := waitComplete(client, addr, int64(n), minSteals, minReplayed, timeout); err != nil {
 		return err
 	}
 	e2e := time.Since(start)
@@ -253,8 +265,11 @@ func sumByName(samples map[string]metrics.PromSample) map[string]float64 {
 // then cross-checks the scrape against the service's own accounting.
 // Counters are summed across shard labels. With minSteals > 0 the
 // rebalancer's migration counter must have reached it — the skewed
-// smoke pass uses this to prove stealing actually fired.
-func waitComplete(client *http.Client, addr string, want, minSteals int64, timeout time.Duration) error {
+// smoke pass uses this to prove stealing actually fired. With
+// minReplayed > 0 the journal replay gauge must have reached it — the
+// kill-and-restart pass uses this to prove the daemon recovered from
+// its journal rather than starting empty.
+func waitComplete(client *http.Client, addr string, want, minSteals, minReplayed int64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		samples, err := scrape(client, addr)
@@ -274,7 +289,12 @@ func waitComplete(client *http.Client, addr string, want, minSteals int64, timeo
 			if minSteals > 0 && stolen < minSteals {
 				return fmt.Errorf("rebalancer migrated %d jobs, want >= %d", stolen, minSteals)
 			}
-			fmt.Printf("all %d jobs completed; /metrics parses and counters agree (%d stolen)\n", completed, stolen)
+			replayed := int64(sums["dollymp_journal_replayed_jobs"])
+			if minReplayed > 0 && replayed < minReplayed {
+				return fmt.Errorf("journal replayed %d jobs, want >= %d", replayed, minReplayed)
+			}
+			fmt.Printf("all %d jobs completed; /metrics parses and counters agree (%d stolen, %d replayed)\n",
+				completed, stolen, replayed)
 			return nil
 		}
 		if time.Now().After(deadline) {

@@ -55,6 +55,7 @@ func main() {
 		stealR    = flag.Float64("steal-ratio", 0, "queue-depth imbalance factor that triggers a steal (0 = default)")
 		stealIv   = flag.Duration("steal-interval", 0, "rebalancer scan period (0 = default)")
 		drainTO   = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
+		jnlDir    = flag.String("journal-dir", "", "crash-safe job journal directory; on restart, unfinished jobs are replayed (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 		Steal:         *steal,
 		StealRatio:    *stealR,
 		StealInterval: *stealIv,
+		JournalDir:    *jnlDir,
 	}
 	if err := run(*addr, *schedName, *fleetSpec, cfg, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, "dollympd:", err)
@@ -86,6 +88,12 @@ func run(addr, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO ti
 	router, err := dollymp.NewRouter(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.JournalDir != "" {
+		js := router.JournalStatus()
+		fmt.Printf("dollympd: journal %s: %d segments (%d stale), replayed %d jobs (%d re-enqueued, %d completed), %d torn bytes truncated\n",
+			cfg.JournalDir, js.Segments, js.StaleSegments, js.ReplayedJobs,
+			js.ReplayedPending, js.ReplayedJobs-js.ReplayedPending, js.TruncatedBytes)
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -124,8 +132,12 @@ func run(addr, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO ti
 	}
 
 	c := router.Counts()
+	results, err := router.Results()
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
 	var makespan int64
-	for _, res := range router.Results() {
+	for _, res := range results {
 		if res.Makespan > makespan {
 			makespan = res.Makespan
 		}

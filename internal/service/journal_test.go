@@ -1,0 +1,313 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/journal"
+	"dollymp/internal/resources"
+)
+
+// openJournalService opens (or reopens) a journal segment and builds a
+// service writing to it, returning the startup replay so the test can
+// drive Restore the way the shard router does.
+func openJournalService(t *testing.T, path string, queueCap int) (*Service, *journal.Journal, *journal.Replay) {
+	t.Helper()
+	jnl, rep, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Cluster:       cluster.Uniform(8, resources.Cores(8, 16)),
+		Scheduler:     fifo{},
+		Seed:          1,
+		Deterministic: true,
+		QueueCap:      queueCap,
+		Journal:       jnl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, jnl, rep
+}
+
+// TestServiceJournalReplayUnadmitted is the crash point between
+// `submitted` and `admitted`: the daemon dies with jobs durably
+// accepted but still queued. Replay must re-enqueue exactly those jobs,
+// a fresh submission must not collide with their IDs, and a final
+// replay must show every job completed exactly once.
+func TestServiceJournalReplayUnadmitted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	a, _, _ := openJournalService(t, path, 16)
+	for i := 0; i < 3; i++ {
+		// Loop never started: accepted, journaled, never admitted.
+		if _, err := a.SubmitNowait(testJob(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no drain, no journal close. Submit already committed the
+	// `submitted` records, so they are durable.
+
+	b, jnl, rep := openJournalService(t, path, 16)
+	if len(rep.Jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(rep.Jobs))
+	}
+	if err := b.Restore(journal.Merge(rep), rep.Records, rep.Truncated); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Snapshot()
+	if snap.Journal == nil || snap.Journal.ReplayedJobs != 3 || snap.Journal.ReplayedPending != 3 {
+		t.Fatalf("journal status: %+v", snap.Journal)
+	}
+	// The ID allocator must have advanced past the restored IDs 1..3.
+	id, err := b.SubmitNowait(testJob(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 {
+		t.Fatalf("post-restore submission got ID %d, want 4", id)
+	}
+	b.Start()
+	stopDrained(t, b)
+	if c := b.Counts(); c.Submitted != 4 || c.Completed != 4 {
+		t.Fatalf("counts after replayed drain: %+v", c)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Jobs) != 4 {
+		t.Fatalf("final replay has %d jobs, want 4", len(rep2.Jobs))
+	}
+	for _, rj := range rep2.Jobs {
+		if rj.Outcome != journal.OutcomeCompleted {
+			t.Fatalf("job %d not completed after drain: %+v", rj.ID, rj)
+		}
+	}
+}
+
+// TestServiceJournalNoDuplicateCompleted: jobs that completed before
+// the crash come back as history — counted, JCT-observed — and are
+// never re-run.
+func TestServiceJournalNoDuplicateCompleted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	a, jnlA, _ := openJournalService(t, path, 16)
+	a.Start()
+	for i := 0; i < 2; i++ {
+		if _, err := a.SubmitNowait(testJob(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stopDrained(t, a)
+	// The `completed` records' shared fsync happened before the crash.
+	if err := jnlA.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, jnlB, rep := openJournalService(t, path, 16)
+	if err := b.Restore(journal.Merge(rep), rep.Records, rep.Truncated); err != nil {
+		t.Fatal(err)
+	}
+	if c := b.Counts(); c.Submitted != 2 || c.Completed != 2 {
+		t.Fatalf("restored history counts: %+v", c)
+	}
+	if b.mCompleted.Value() != 2 || b.mSubmitted.Value() != 2 {
+		t.Fatalf("restored history counters: submitted %v, completed %v",
+			b.mSubmitted.Value(), b.mCompleted.Value())
+	}
+	if info, ok := b.Job(1); !ok || info.State != StateCompleted {
+		t.Fatalf("restored job 1: %+v (ok=%v)", info, ok)
+	}
+	snap := b.Snapshot()
+	if snap.Journal.ReplayedJobs != 2 || snap.Journal.ReplayedPending != 0 {
+		t.Fatalf("journal status: %+v", snap.Journal)
+	}
+	b.Start()
+	if _, err := b.SubmitNowait(testJob(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	stopDrained(t, b)
+	if c := b.Counts(); c.Submitted != 3 || c.Completed != 3 {
+		t.Fatalf("counts after restart: %+v", c)
+	}
+	if err := jnlB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Jobs) != 3 {
+		t.Fatalf("final replay has %d jobs, want 3 (duplicate?)", len(rep2.Jobs))
+	}
+	for _, rj := range rep2.Jobs {
+		if rj.Outcome != journal.OutcomeCompleted {
+			t.Fatalf("job %d: %+v", rj.ID, rj)
+		}
+	}
+}
+
+// TestServiceJournalStealCrashResurrects is the crash point after
+// `stolen` but before the thief's `injected`: the donor's segment alone
+// must be enough to bring the job back, because the stolen record's
+// spec was retained from `submitted`.
+func TestServiceJournalStealCrashResurrects(t *testing.T) {
+	dir := t.TempDir()
+	pathA := journal.SegmentPath(dir, 0)
+	a, jnlA, _ := openJournalService(t, pathA, 16)
+	id, err := a.SubmitNowait(testJob(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.StealQueued(1); len(got) != 1 || got[0].ID != id {
+		t.Fatalf("steal: %v", got)
+	}
+	// The `stolen` record made it to disk; the thief crashed before
+	// journaling `injected`.
+	if err := jnlA.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	repA, err := journal.ReplayFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := journal.Merge(repA)
+	if len(merged) != 1 || merged[0].Outcome != journal.OutcomePending || merged[0].Job == nil {
+		t.Fatalf("mid-migration merge: %+v", merged)
+	}
+
+	pathB := journal.SegmentPath(dir, 1)
+	b, jnlB, repB := openJournalService(t, pathB, 16)
+	if len(repB.Jobs) != 0 {
+		t.Fatalf("fresh thief segment replayed %d jobs", len(repB.Jobs))
+	}
+	if err := b.Restore(merged, repA.Records, repA.Truncated); err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	stopDrained(t, b)
+	if c := b.Counts(); c.Submitted != 1 || c.Completed != 1 {
+		t.Fatalf("resurrected job did not complete: %+v", c)
+	}
+	if err := jnlB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := journal.ReplayFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Jobs) != 1 || rep2.Jobs[0].ID != id || rep2.Jobs[0].Outcome != journal.OutcomeCompleted {
+		t.Fatalf("final replay: %+v", rep2.Jobs)
+	}
+}
+
+// TestStealQueuedMissingRecordGuard: a queue entry whose lifecycle
+// record was already accounted away (the pathological double-steal)
+// must not decrement Submitted a second time.
+func TestStealQueuedMissingRecordGuard(t *testing.T) {
+	s := newTestService(t, 8)
+	id1, err := s.SubmitNowait(testJob(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitNowait(testJob(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the pathology: id1's record is gone and its submission
+	// already un-counted, but its queue entry survives.
+	s.mu.Lock()
+	delete(s.jobs, id1)
+	s.counts.Submitted--
+	s.tasksOut--
+	s.mu.Unlock()
+
+	if got := s.StealQueued(2); len(got) != 2 {
+		t.Fatalf("stole %d jobs, want 2", len(got))
+	}
+	if c := s.Counts(); c.Submitted != 0 {
+		t.Fatalf("Submitted skewed to %d, want 0", c.Submitted)
+	}
+}
+
+// TestCountersAgreeWithCounts: the Prometheus counters move inside the
+// same critical section as Counts, so a counter read after a Counts
+// read can never be behind it — the strict cross-check the smoke probe
+// relies on.
+func TestCountersAgreeWithCounts(t *testing.T) {
+	s := newTestService(t, 8) // tiny queue, loop not started: rejects fire too
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			_, err := s.SubmitNowait(testJob(1, 2))
+			if err != nil && !errors.Is(err, ErrQueueFull) {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		c := s.Counts()
+		if sub := int64(s.mSubmitted.Value()); sub < c.Submitted {
+			t.Fatalf("submitted counter %d behind counts %d", sub, c.Submitted)
+		}
+		if rej := int64(s.mRejected.Value()); rej < c.Rejected {
+			t.Fatalf("rejected counter %d behind counts %d", rej, c.Rejected)
+		}
+	}
+	c := s.Counts()
+	if int64(s.mSubmitted.Value()) != c.Submitted || int64(s.mRejected.Value()) != c.Rejected {
+		t.Fatalf("quiescent counters disagree: %+v vs %v/%v",
+			c, s.mSubmitted.Value(), s.mRejected.Value())
+	}
+	s.Start()
+	stopDrained(t, s)
+	c = s.Counts()
+	if int64(s.mAdmitted.Value()) != c.Admitted || int64(s.mCompleted.Value()) != c.Completed {
+		t.Fatalf("post-drain counters disagree: %+v vs %v/%v",
+			c, s.mAdmitted.Value(), s.mCompleted.Value())
+	}
+}
+
+// TestResultNotDrained: Result on a still-running loop is an error, not
+// a panic — the caller that timed out a drain can report and retry.
+func TestResultNotDrained(t *testing.T) {
+	s := newTestService(t, 512)
+	if _, err := s.Result(); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("Result before Start: %v, want ErrNotDrained", err)
+	}
+	s.Start()
+	for i := 0; i < 200; i++ {
+		if _, err := s.SubmitNowait(testJob(4, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Stop(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stop with canceled context: %v", err)
+	}
+	if _, err := s.Result(); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("Result mid-drain: %v, want ErrNotDrained", err)
+	}
+	stopDrained(t, s)
+	res, err := s.Result()
+	if err != nil || res == nil {
+		t.Fatalf("Result after drain: %v, %v", res, err)
+	}
+	if int64(len(res.Jobs)) != s.Counts().Completed {
+		t.Fatalf("result has %d jobs, counts %+v", len(res.Jobs), s.Counts())
+	}
+}

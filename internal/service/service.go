@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"dollymp/internal/cluster"
+	"dollymp/internal/journal"
 	"dollymp/internal/metrics"
 	"dollymp/internal/sched"
 	"dollymp/internal/sim"
@@ -46,6 +47,11 @@ var ErrQueueFull = errors.New("service: admission queue full")
 // ErrStopped is returned by Submit after Stop has begun: the service is
 // draining and accepts no new work.
 var ErrStopped = errors.New("service: stopped")
+
+// ErrNotDrained is returned by Result while the scheduling loop is
+// still running — a Stop whose context expired leaves the loop alive,
+// and the engine's metrics are only consistent once it has exited.
+var ErrNotDrained = errors.New("service: not drained")
 
 // Config configures a Service.
 type Config struct {
@@ -78,6 +84,17 @@ type Config struct {
 	// stride P, so shard ownership of an ID is (id-1) mod P.
 	IDBase   workload.JobID
 	IDStride int
+
+	// Journal, when non-nil, records every job lifecycle transition to
+	// a crash-safe write-ahead log: `submitted` (with the full spec) is
+	// made durable before a submission is acknowledged, and `admitted`,
+	// `completed`, `stolen`, and `injected` ride later fsyncs. A nil
+	// Journal keeps today's in-memory behavior bit-for-bit. The caller
+	// owns the journal (Open/Close and startup replay via Restore); the
+	// service only appends. A journal write failure fails the service —
+	// the durability contract is broken, and failing loudly beats
+	// acknowledging submissions it can no longer promise to keep.
+	Journal *journal.Journal
 }
 
 // DefaultQueueCap is the admission-queue bound when Config.QueueCap is 0.
@@ -176,6 +193,45 @@ type ShardStatus struct {
 	Clock      int64  `json:"clock_slots"`
 	Draining   bool   `json:"draining"`
 	Jobs       Counts `json:"jobs"`
+	// ReplayedJobs counts jobs restored from this shard's journal at
+	// startup (0 when journaling is off or the journal was empty).
+	ReplayedJobs int64 `json:"replayed_jobs,omitempty"`
+}
+
+// JournalStatus is the recovery-state slice of a status response:
+// whether intake is journaled, what this process has written, and what
+// the startup replay recovered.
+type JournalStatus struct {
+	Enabled bool `json:"enabled"`
+	// Records counts journal records appended by this process.
+	Records int64 `json:"records_written"`
+	// ReplayedRecords counts intact records scanned at startup.
+	ReplayedRecords int64 `json:"replayed_records"`
+	// ReplayedJobs counts jobs restored at startup (completed history
+	// plus re-enqueued unfinished work); ReplayedPending is the
+	// re-enqueued subset.
+	ReplayedJobs    int64 `json:"replayed_jobs"`
+	ReplayedPending int64 `json:"replayed_pending"`
+	// TruncatedBytes counts torn-tail bytes dropped at startup.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Segments and StaleSegments describe the journal directory of a
+	// sharded deployment: segments in use by this topology, and
+	// leftover segments of a previous one replayed read-only. Both are
+	// 0 for a single journaled service.
+	Segments      int `json:"segments,omitempty"`
+	StaleSegments int `json:"stale_segments,omitempty"`
+}
+
+// Add accumulates other into js (the router sums per-shard status).
+func (js *JournalStatus) Add(other JournalStatus) {
+	js.Enabled = js.Enabled || other.Enabled
+	js.Records += other.Records
+	js.ReplayedRecords += other.ReplayedRecords
+	js.ReplayedJobs += other.ReplayedJobs
+	js.ReplayedPending += other.ReplayedPending
+	js.TruncatedBytes += other.TruncatedBytes
+	js.Segments += other.Segments
+	js.StaleSegments += other.StaleSegments
 }
 
 // ServerInfo is one server's slice of a cluster snapshot.
@@ -205,6 +261,9 @@ type ClusterSnapshot struct {
 	UtilizationCPU float64      `json:"utilization_cpu"`
 	UtilizationMem float64      `json:"utilization_mem"`
 	Servers        []ServerInfo `json:"servers"`
+	// Journal exposes recovery state; nil when journaling is off, so
+	// the snapshot of an unjournaled service is unchanged.
+	Journal *JournalStatus `json:"journal,omitempty"`
 }
 
 // Service is the online scheduling daemon core. Create with New, start
@@ -230,6 +289,7 @@ type Service struct {
 	snap     ClusterSnapshot
 	err      error
 	admitCh  chan struct{} // closed+replaced on every admit: queue-space broadcast
+	jnlStat  JournalStatus // guarded by mu; zero when cfg.Journal is nil
 
 	reg        *metrics.Registry
 	mSubmitted *metrics.Counter
@@ -242,6 +302,12 @@ type Service struct {
 	mUtilCPU   *metrics.Gauge
 	mUtilMem   *metrics.Gauge
 	mJCT       *metrics.Histogram
+
+	// Journal metrics; nil when cfg.Journal is nil (registering them
+	// unconditionally would change the exposition of an unjournaled
+	// service).
+	mJnlRecords  *metrics.Counter
+	mJnlReplayed *metrics.Gauge
 }
 
 // New validates the configuration and builds a stopped service; call
@@ -291,6 +357,11 @@ func New(cfg Config) (*Service, error) {
 	s.mUtilMem = s.reg.Gauge("dollymp_cluster_utilization", "Fraction of cluster capacity allocated.", lbl(metrics.Labels{"resource": "mem"}))
 	s.mJCT = s.reg.Histogram("dollymp_job_completion_slots", "Job completion time (flowtime) in slots.",
 		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}, lbl(nil))
+	if cfg.Journal != nil {
+		s.jnlStat.Enabled = true
+		s.mJnlRecords = s.reg.Counter("dollymp_journal_records_total", "Journal records appended by this process.", lbl(nil))
+		s.mJnlReplayed = s.reg.Gauge("dollymp_journal_replayed_jobs", "Jobs restored from the journal at startup.", lbl(nil))
+	}
 
 	eng, err := sim.New(sim.Config{
 		Cluster:       cfg.Cluster,
@@ -399,19 +470,54 @@ func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, err
 		delete(s.jobs, id)
 		s.nextID -= workload.JobID(s.cfg.IDStride)
 		if countReject {
+			// Counter and count move inside one critical section, so a
+			// /metrics scrape never disagrees with /v1 accounting.
 			s.counts.Rejected++
-		}
-		s.mu.Unlock()
-		if countReject {
 			s.mRejected.Inc()
 		}
+		s.mu.Unlock()
 		return 0, ErrQueueFull
 	}
 	s.counts.Submitted++
 	s.tasksOut += int64(info.Tasks)
-	s.mu.Unlock()
 	s.mSubmitted.Inc()
+	seq, jerr := s.journalLocked(journal.Record{Op: journal.OpSubmitted, ID: id, Job: j})
+	s.mu.Unlock()
+	if jerr != nil {
+		s.fail(jerr)
+		return 0, jerr
+	}
+	if s.cfg.Journal != nil {
+		// Group-commit outside the lock: the submission is acknowledged
+		// only once its record is on disk, and concurrent submitters
+		// share one fsync. The job is already queued; if the disk
+		// refuses, the service fails loudly rather than keep accepting
+		// work it cannot promise to remember.
+		if err := s.cfg.Journal.Commit(seq); err != nil {
+			err = fmt.Errorf("service: journal submit %d: %w", id, err)
+			s.fail(err)
+			return 0, err
+		}
+	}
 	return id, nil
+}
+
+// journalLocked appends one record to the configured journal (a no-op
+// returning 0 when journaling is off). Callers hold mu, which gives the
+// journal the same total order as the in-memory lifecycle; the record
+// is durable only after a Commit covering seq. The returned error is
+// for the caller to surface after releasing mu — fail locks mu itself.
+func (s *Service) journalLocked(rec journal.Record) (seq uint64, err error) {
+	if s.cfg.Journal == nil {
+		return 0, nil
+	}
+	seq, err = s.cfg.Journal.Append(rec)
+	if err != nil {
+		return 0, fmt.Errorf("service: journal %s %d: %w", rec.Op, rec.ID, err)
+	}
+	s.jnlStat.Records++
+	s.mJnlRecords.Inc()
+	return seq, nil
 }
 
 // StealQueued removes and returns up to max still-queued jobs — the
@@ -431,6 +537,12 @@ func (s *Service) StealQueued(max int) []*workload.Job {
 	if max <= 0 {
 		return nil
 	}
+	var jerr error
+	defer func() {
+		if jerr != nil {
+			s.fail(jerr)
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopping {
@@ -443,8 +555,16 @@ func (s *Service) StealQueued(max int) []*workload.Job {
 			if info := s.jobs[j.ID]; info != nil {
 				s.tasksOut -= int64(info.Tasks)
 				delete(s.jobs, j.ID)
+				// Decrement only alongside a removed lifecycle record:
+				// a queue entry with no record was already accounted
+				// away (a pathological double-steal), and decrementing
+				// again would skew the deployment-wide Submitted
+				// invariant negative.
+				s.counts.Submitted--
 			}
-			s.counts.Submitted--
+			if _, err := s.journalLocked(journal.Record{Op: journal.OpStolen, ID: j.ID}); err != nil && jerr == nil {
+				jerr = err
+			}
 			out = append(out, j)
 		default:
 			// Queue empty (or the loop drained the rest first).
@@ -471,6 +591,12 @@ drained:
 // accepted, always a prefix of jobs — a full queue or a draining
 // service stops the intake and the caller re-homes the rest.
 func (s *Service) InjectQueued(jobs []*workload.Job) int {
+	var jerr error
+	defer func() {
+		if jerr != nil {
+			s.fail(jerr)
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopping {
@@ -488,6 +614,12 @@ func (s *Service) InjectQueued(jobs []*workload.Job) int {
 		case s.subCh <- j:
 			s.counts.Submitted++
 			s.tasksOut += int64(info.Tasks)
+			// The injected record carries the full spec so this shard's
+			// segment replays alone; durability rides the next fsync —
+			// replay dedupes against the donor's segment either way.
+			if _, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: j.ID, Job: j}); err != nil && jerr == nil {
+				jerr = err
+			}
 			n++
 		default:
 			delete(s.jobs, j.ID)
@@ -512,6 +644,7 @@ func (s *Service) InjectQueued(jobs []*workload.Job) int {
 func (s *Service) ForceRequeue(jobs []*workload.Job) {
 	s.mu.Lock()
 	var stranded []workload.JobID
+	var jerr error
 	for _, j := range jobs {
 		if s.loopExited {
 			stranded = append(stranded, j.ID)
@@ -526,15 +659,122 @@ func (s *Service) ForceRequeue(jobs []*workload.Job) {
 		case s.subCh <- j:
 			s.counts.Submitted++
 			s.tasksOut += int64(info.Tasks)
+			if _, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: j.ID, Job: j}); err != nil && jerr == nil {
+				jerr = err
+			}
 		default:
 			delete(s.jobs, j.ID)
 			stranded = append(stranded, j.ID)
 		}
 	}
 	s.mu.Unlock()
+	if jerr != nil {
+		s.fail(jerr)
+	}
 	if len(stranded) > 0 {
 		s.fail(fmt.Errorf("service: %d migrated jobs could not be requeued (first: %d)", len(stranded), stranded[0]))
 	}
+}
+
+// Restore seeds the service from replayed journal state; it must run
+// after New and before Start. Completed jobs come back as lifecycle
+// history (record, counts, and JCT observation — so counters stay
+// consistent with /v1 across a restart); unfinished jobs are
+// re-enqueued exactly like a fresh submission, keeping their IDs. The
+// engine is single-use, so replay re-injects through the admission
+// queue rather than resurrecting engine state: a previously admitted
+// job restarts from queued, its original arrival slot and partial
+// progress intentionally gone. Restored IDs advance the ID allocator
+// past them so new submissions never collide. records and truncated
+// are the segment-scan stats for status reporting.
+//
+// Re-enqueued jobs are re-journaled as `injected` records (and synced
+// before Restore returns), so a segment inherited from a different
+// shard topology can be retired: the job's spec now lives in this
+// shard's own segment.
+func (s *Service) Restore(jobs []*journal.ReplayJob, records, truncated int64) error {
+	if s.started.Load() {
+		return errors.New("service: Restore after Start")
+	}
+	s.mu.Lock()
+	var seq uint64
+	for _, rj := range jobs {
+		if rj.ID < 1 || s.jobs[rj.ID] != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("service: replayed job %d is invalid or duplicated", rj.ID)
+		}
+		s.bumpNextID(rj.ID)
+		if rj.Outcome == journal.OutcomeCompleted {
+			info := &JobInfo{
+				ID: rj.ID, State: StateCompleted,
+				Arrival: rj.Finish - rj.Flowtime, FirstStart: -1,
+				Finish: rj.Finish, Flowtime: rj.Flowtime,
+			}
+			if rj.Job != nil {
+				info.Name, info.App, info.Tasks = rj.Job.Name, rj.Job.App, rj.Job.TotalTasks()
+			}
+			s.jobs[rj.ID] = info
+			s.counts.Submitted++
+			s.counts.Completed++
+			s.mSubmitted.Inc()
+			s.mCompleted.Inc()
+			s.mJCT.Observe(float64(rj.Flowtime))
+			continue
+		}
+		if rj.Job == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("service: replayed job %d has no spec", rj.ID)
+		}
+		j := rj.Job
+		j.ID = rj.ID
+		j.Arrival = 0 // clamped to the fresh engine's clock at injection
+		info := &JobInfo{
+			ID: rj.ID, Name: j.Name, App: j.App, State: StateQueued,
+			Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
+		}
+		s.jobs[rj.ID] = info
+		select {
+		case s.subCh <- j:
+		default:
+			s.mu.Unlock()
+			return fmt.Errorf("service: replayed backlog exceeds queue capacity %d at job %d (restart with a larger queue)",
+				cap(s.subCh), rj.ID)
+		}
+		s.counts.Submitted++
+		s.tasksOut += int64(info.Tasks)
+		s.mSubmitted.Inc()
+		sq, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: rj.ID, Job: j})
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		seq = sq
+		s.jnlStat.ReplayedPending++
+	}
+	s.jnlStat.ReplayedJobs += int64(len(jobs))
+	s.jnlStat.ReplayedRecords += records
+	s.jnlStat.TruncatedBytes += truncated
+	if s.mJnlReplayed != nil {
+		s.mJnlReplayed.Set(float64(s.jnlStat.ReplayedJobs))
+	}
+	s.mu.Unlock()
+	if s.cfg.Journal != nil && seq > 0 {
+		if err := s.cfg.Journal.Commit(seq); err != nil {
+			return fmt.Errorf("service: journal restore: %w", err)
+		}
+	}
+	return nil
+}
+
+// bumpNextID advances the ID allocator past a restored ID, staying on
+// this service's residue class. Caller holds mu.
+func (s *Service) bumpNextID(id workload.JobID) {
+	if id < s.nextID {
+		return
+	}
+	stride := workload.JobID(s.cfg.IDStride)
+	d := (id - s.cfg.IDBase) % stride // ≥ 0: id ≥ nextID ≥ IDBase
+	s.nextID = id + stride - d
 }
 
 // Job returns the lifecycle record for one job.
@@ -603,11 +843,12 @@ func (s *Service) Status() ShardStatus {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return ShardStatus{
-		QueueDepth: len(s.subCh),
-		ActiveJobs: s.snap.ActiveJobs,
-		Clock:      s.clock,
-		Draining:   s.stopping,
-		Jobs:       s.counts,
+		QueueDepth:   len(s.subCh),
+		ActiveJobs:   s.snap.ActiveJobs,
+		Clock:        s.clock,
+		Draining:     s.stopping,
+		Jobs:         s.counts,
+		ReplayedJobs: s.jnlStat.ReplayedJobs,
 	}
 }
 
@@ -626,6 +867,10 @@ func (s *Service) Snapshot() ClusterSnapshot {
 	snap.Jobs = s.counts
 	snap.Draining = s.stopping
 	snap.QueueDepth = len(s.subCh)
+	if s.cfg.Journal != nil {
+		js := s.jnlStat
+		snap.Journal = &js
+	}
 	return snap
 }
 
@@ -654,14 +899,16 @@ func (s *Service) Stop(ctx context.Context) error {
 	}
 }
 
-// Result finalizes and returns the engine's accumulated metrics. Only
-// valid after Stop has returned.
-func (s *Service) Result() *sim.Result {
+// Result finalizes and returns the engine's accumulated metrics. It is
+// only valid once the scheduling loop has exited (Stop returned nil);
+// while the loop still runs — e.g. Stop gave up on an expired context —
+// it returns ErrNotDrained instead of touching the live engine.
+func (s *Service) Result() (*sim.Result, error) {
 	select {
 	case <-s.doneCh:
-		return s.eng.Finalize()
+		return s.eng.Finalize(), nil
 	default:
-		panic("service: Result before Stop completed")
+		return nil, ErrNotDrained
 	}
 }
 
@@ -732,13 +979,17 @@ func (s *Service) admit(j *workload.Job) {
 		info.Arrival = arr
 	}
 	s.counts.Admitted++
+	s.mAdmitted.Inc() // same critical section as counts: scrapes agree with /v1
+	_, jerr := s.journalLocked(journal.Record{Op: journal.OpAdmitted, ID: j.ID, Arrival: arr})
 	// Broadcast the freed queue slot to blocked Submit callers: close
 	// the current admission channel and replace it. Waiters that
 	// grabbed the old channel wake and retry.
 	close(s.admitCh)
 	s.admitCh = make(chan struct{})
 	s.mu.Unlock()
-	s.mAdmitted.Inc()
+	if jerr != nil {
+		s.fail(jerr)
+	}
 }
 
 // onJobStart runs inside Engine.Step, on the loop goroutine.
@@ -761,9 +1012,15 @@ func (s *Service) onJobComplete(m sim.JobMetrics) {
 		s.tasksOut -= int64(info.Tasks)
 	}
 	s.counts.Completed++
-	s.mu.Unlock()
 	s.mCompleted.Inc()
 	s.mJCT.Observe(float64(m.Flowtime))
+	// The completed record rides the next fsync: losing it to a crash
+	// re-runs the job after replay (at-least-once), it never loses one.
+	_, jerr := s.journalLocked(journal.Record{Op: journal.OpCompleted, ID: m.ID, Finish: m.Finish, Flowtime: m.Flowtime})
+	s.mu.Unlock()
+	if jerr != nil {
+		s.fail(jerr)
+	}
 }
 
 // publish refreshes the shared snapshot and gauges from engine state.

@@ -201,7 +201,10 @@ func TestServiceRejectsAfterStop(t *testing.T) {
 	if _, err := s.SubmitNowait(testJob(1, 1)); !errors.Is(err, ErrStopped) {
 		t.Fatalf("want ErrStopped, got %v", err)
 	}
-	res := s.Result()
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Jobs) != 1 {
 		t.Fatalf("result jobs: %d", len(res.Jobs))
 	}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+)
+
+func newJournalRouter(t *testing.T, dir string, shards, queueCap int) *Router {
+	t.Helper()
+	r, err := New(Config{
+		Fleet:         cluster.Uniform(8, resources.Cores(8, 16)),
+		Shards:        shards,
+		NewScheduler:  newFifo,
+		Seed:          1,
+		Deterministic: true,
+		QueueCap:      queueCap,
+		Policy:        RouteP2C,
+		JournalDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRouterJournalRestartReplay is the end-to-end crash proof at the
+// router layer: jobs accepted (but never admitted) by one deployment
+// are replayed, re-homed, and completed by the next one using the same
+// journal directory.
+func TestRouterJournalRestartReplay(t *testing.T) {
+	dir := t.TempDir()
+	const n = 10
+	r1 := newJournalRouter(t, dir, 2, 64)
+	for i := 0; i < n; i++ {
+		// Loops never started: every job is durably accepted, still queued.
+		if _, err := r1.SubmitNowait(testJob(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Stop, journals never closed.
+
+	r2 := newJournalRouter(t, dir, 2, 64)
+	js := r2.JournalStatus()
+	if !js.Enabled || js.ReplayedJobs != n || js.ReplayedPending != n {
+		t.Fatalf("journal status after restart: %+v", js)
+	}
+	if js.Segments != 2 || js.StaleSegments != 0 {
+		t.Fatalf("segment accounting: %+v", js)
+	}
+	snap := r2.Snapshot()
+	if snap.Journal == nil || snap.Journal.ReplayedJobs != n {
+		t.Fatalf("snapshot journal: %+v", snap.Journal)
+	}
+	r2.Start()
+	stopDrained(t, r2)
+	if c := r2.Counts(); c.Submitted != n || c.Completed != n {
+		t.Fatalf("replayed jobs lost: %+v", c)
+	}
+	if _, err := r2.Results(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterJournalTopologyChange: segments left behind by a wider
+// topology are replayed read-only, their jobs re-homed onto the
+// surviving residue-class shards — and a further restart must not run
+// anything twice, because the completed records win the merge.
+func TestRouterJournalTopologyChange(t *testing.T) {
+	dir := t.TempDir()
+	const n = 10
+	r1 := newJournalRouter(t, dir, 2, 64)
+	for i := 0; i < n; i++ {
+		if _, err := r1.SubmitNowait(testJob(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash, then restart with half the shards: shard-001.wal is stale.
+	r2 := newJournalRouter(t, dir, 1, 64)
+	js := r2.JournalStatus()
+	if js.Segments != 1 || js.StaleSegments != 1 {
+		t.Fatalf("segment accounting: %+v", js)
+	}
+	if js.ReplayedJobs != n || js.ReplayedPending != n {
+		t.Fatalf("re-homed replay: %+v", js)
+	}
+	r2.Start()
+	stopDrained(t, r2)
+	if c := r2.Counts(); c.Submitted != n || c.Completed != n {
+		t.Fatalf("re-homed jobs lost: %+v", c)
+	}
+
+	// Third boot: the stale segment still sits in the directory, but
+	// every job now has a completed record in the owned segment.
+	r3 := newJournalRouter(t, dir, 1, 64)
+	js = r3.JournalStatus()
+	if js.ReplayedJobs != n || js.ReplayedPending != 0 {
+		t.Fatalf("third boot replayed work it should not: %+v", js)
+	}
+	r3.Start()
+	stopDrained(t, r3)
+	if c := r3.Counts(); c.Submitted != n || c.Completed != n {
+		t.Fatalf("history duplicated or lost: %+v", c)
+	}
+}
+
+// TestRouterResultsNotDrained: Results on a live router reports the
+// not-drained error instead of panicking.
+func TestRouterResultsNotDrained(t *testing.T) {
+	r := newTestRouter(t, 2, 16, RouteP2C)
+	if _, err := r.Results(); err == nil {
+		t.Fatal("Results on a live router succeeded")
+	}
+	stopDrained(t, r)
+	if _, err := r.Results(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"dollymp/internal/cluster"
+	"dollymp/internal/journal"
 	"dollymp/internal/metrics"
 	"dollymp/internal/sched"
 	"dollymp/internal/service"
@@ -101,6 +103,15 @@ type Config struct {
 	// StealMax caps the jobs migrated per steal event; 0 means
 	// unbounded (half the queue-depth gap moves).
 	StealMax int
+
+	// JournalDir, when non-empty, makes intake crash-safe: each shard
+	// appends job lifecycle transitions to its own segment file in this
+	// directory (journal.SegmentPath), and New replays every segment
+	// found there — including segments left by a run with a different
+	// shard count — re-homing unfinished jobs onto their residue-class
+	// shard before any loop starts. The directory is created if
+	// missing. Empty keeps today's in-memory behavior.
+	JournalDir string
 }
 
 // Rebalancer defaults.
@@ -126,6 +137,14 @@ type Router struct {
 	svcReg *metrics.Registry // shared by all shards, series labelled shard="k"
 	rtrReg *metrics.Registry // router-local metrics
 	routed []*metrics.Counter
+
+	// Journal state (used only when cfg.JournalDir is set). The router
+	// owns the segment journals: it opens them before the services
+	// exist, hands one to each shard, and closes them after a full
+	// drain. jnlStale counts leftover segments of a previous topology,
+	// replayed read-only and left in place (their jobs were re-homed).
+	jnls     []*journal.Journal
+	jnlExtra service.JournalStatus // dir-level stats not owned by any shard
 
 	mu  sync.Mutex
 	rng *stats.RNG
@@ -200,10 +219,27 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Steal {
 		r.owned = make(map[workload.JobID]int)
 	}
+	// Open (and replay) the journal segments before any service exists:
+	// every accepted job of the previous run must be re-homed before a
+	// loop can start admitting new work.
+	ok := false
+	defer func() {
+		if !ok {
+			r.closeJournals()
+		}
+	}()
+	ownReplays, staleReplays, err := r.openJournals()
+	if err != nil {
+		return nil, err
+	}
 	for k := 0; k < cfg.Shards; k++ {
 		policy, err := cfg.NewScheduler(k)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		var jnl *journal.Journal
+		if r.jnls != nil {
+			jnl = r.jnls[k]
 		}
 		svc, err := service.New(service.Config{
 			Cluster:       parts[k],
@@ -216,6 +252,7 @@ func New(cfg Config) (*Router, error) {
 			MetricLabels:  metrics.Labels{"shard": strconv.Itoa(k)},
 			IDBase:        workload.JobID(k + 1),
 			IDStride:      cfg.Shards,
+			Journal:       jnl,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", k, err)
@@ -230,7 +267,109 @@ func New(cfg Config) (*Router, error) {
 				"Queued jobs the rebalancer migrated into a shard.", metrics.Labels{"shard": strconv.Itoa(k)}))
 		}
 	}
+	if err := r.restore(ownReplays, staleReplays); err != nil {
+		return nil, err
+	}
+	ok = true
 	return r, nil
+}
+
+// openJournals creates the journal directory and opens one segment per
+// shard, replaying whatever a previous run left behind. Segments of a
+// previous topology (shard index ≥ P, from a run with more shards) are
+// replayed read-only and left in place: their unfinished jobs are
+// re-homed into the current segments by restore, and completed-wins
+// deduplication keeps later replays of the stale files harmless.
+func (r *Router) openJournals() (own, stale []*journal.Replay, err error) {
+	if r.cfg.JournalDir == "" {
+		return nil, nil, nil
+	}
+	dir := r.cfg.JournalDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("shard: journal dir: %w", err)
+	}
+	r.jnls = make([]*journal.Journal, r.cfg.Shards)
+	owned := make(map[string]bool, r.cfg.Shards)
+	own = make([]*journal.Replay, r.cfg.Shards)
+	for k := 0; k < r.cfg.Shards; k++ {
+		path := journal.SegmentPath(dir, k)
+		owned[path] = true
+		jnl, rep, err := journal.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		r.jnls[k] = jnl
+		own[k] = rep
+	}
+	segs, err := journal.ListSegments(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: %w", err)
+	}
+	for _, path := range segs {
+		if owned[path] {
+			continue
+		}
+		rep, err := journal.ReplayFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: stale segment: %w", err)
+		}
+		stale = append(stale, rep)
+		r.jnlExtra.StaleSegments++
+		r.jnlExtra.ReplayedRecords += rep.Records
+		r.jnlExtra.TruncatedBytes += rep.Truncated
+	}
+	r.jnlExtra.Enabled = true
+	r.jnlExtra.Segments = r.cfg.Shards
+	return own, stale, nil
+}
+
+// restore merges every segment's replay — owned and stale — into one
+// deduplicated job set and seeds each job's residue-class shard with
+// it: completed jobs as lifecycle history, unfinished jobs re-enqueued.
+func (r *Router) restore(own, stale []*journal.Replay) error {
+	if r.cfg.JournalDir == "" {
+		return nil
+	}
+	merged := journal.Merge(append(append([]*journal.Replay{}, own...), stale...)...)
+	perShard := make([][]*journal.ReplayJob, r.cfg.Shards)
+	for _, rj := range merged {
+		k := (int(rj.ID) - 1) % r.cfg.Shards
+		perShard[k] = append(perShard[k], rj)
+	}
+	for k, jobs := range perShard {
+		if err := r.shards[k].Restore(jobs, own[k].Records, own[k].Truncated); err != nil {
+			return fmt.Errorf("shard %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// closeJournals flushes and closes every open segment.
+func (r *Router) closeJournals() error {
+	var errs []error
+	for _, jnl := range r.jnls {
+		if jnl != nil {
+			errs = append(errs, jnl.Close())
+		}
+	}
+	r.jnls = nil
+	return errors.Join(errs...)
+}
+
+// JournalStatus aggregates recovery state across shards (zero when
+// journaling is off).
+func (r *Router) JournalStatus() service.JournalStatus {
+	js := r.jnlExtra
+	for _, s := range r.shards {
+		if snap := s.Snapshot(); snap.Journal != nil {
+			// Segment-level fields live in jnlExtra; take only the
+			// per-shard job/record accounting from each service.
+			shard := *snap.Journal
+			shard.Segments, shard.StaleSegments = 0, 0
+			js.Add(shard)
+		}
+	}
+	return js
 }
 
 // NumShards returns the partition count P. (Per-shard status rows come
@@ -447,11 +586,20 @@ func (r *Router) Snapshot() service.ClusterSnapshot {
 	r.migMu.RLock()
 	defer r.migMu.RUnlock()
 	agg := service.ClusterSnapshot{Shards: len(r.shards)}
+	if r.cfg.JournalDir != "" {
+		js := r.jnlExtra
+		agg.Journal = &js
+	}
 	var usedCPU, usedMem, capCPU, capMem int64
 	for _, s := range r.shards {
 		snap := s.Snapshot()
 		if agg.Scheduler == "" {
 			agg.Scheduler = snap.Scheduler
+		}
+		if agg.Journal != nil && snap.Journal != nil {
+			shard := *snap.Journal
+			shard.Segments, shard.StaleSegments = 0, 0
+			agg.Journal.Add(shard)
 		}
 		if snap.Clock > agg.Clock {
 			agg.Clock = snap.Clock
@@ -654,17 +802,30 @@ func (r *Router) Stop(ctx context.Context) error {
 		}(k, s)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	if err == nil {
+		// Every loop drained: every accepted job has a durable
+		// `completed` record, so the segments can be flushed and closed.
+		// On a failed drain the journals stay open (and on disk) — a
+		// subsequent restart replays the unfinished jobs.
+		err = r.closeJournals()
+	}
+	return err
 }
 
 // Results returns every shard's finalized engine metrics, in shard
-// order. Only valid after Stop has returned.
-func (r *Router) Results() []*sim.Result {
+// order. It fails with service.ErrNotDrained if any shard's loop is
+// still running (Stop timed out or was never called).
+func (r *Router) Results() ([]*sim.Result, error) {
 	out := make([]*sim.Result, len(r.shards))
 	for k, s := range r.shards {
-		out[k] = s.Result()
+		res, err := s.Result()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		out[k] = res
 	}
-	return out
+	return out, nil
 }
 
 // Metrics returns the shared per-shard registry (tests; /metrics goes

@@ -256,7 +256,15 @@ func TestRouterP1MatchesUnsharded(t *testing.T) {
 				s.ID, s.Flowtime, s.Finish, s.FirstStart, b.Flowtime, b.Finish, b.FirstStart)
 		}
 	}
-	if rm, sm, bmk := r.Results()[0].Makespan, svc.Result().Makespan, batch.Makespan; rm != sm || sm != bmk {
+	rRes, err := r.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRes, err := svc.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm, sm, bmk := rRes[0].Makespan, sRes.Makespan, batch.Makespan; rm != sm || sm != bmk {
 		t.Errorf("makespan: router %d, service %d, batch %d", rm, sm, bmk)
 	}
 }

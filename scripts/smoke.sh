@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # e2e smoke: boot dollympd on an ephemeral port, push jobs through it
 # with dollymp-load, require every job to complete and /metrics to parse,
-# then check the daemon drains cleanly on SIGTERM. Runs three times:
+# then check the daemon drains cleanly on SIGTERM. Four passes:
 # unsharded; with -shards 4 (this pass also probes the /v1 error
 # surface, asserting every failure is the machine-readable envelope
-# {"error":{"code","message"}} and /v1/shards reports the topology); and
+# {"error":{"code","message"}} and /v1/shards reports the topology);
 # with -shards 4 -route single -steal, skewing every submission onto
 # shard 0 and requiring the rebalancer to migrate jobs off it (non-zero
-# steal counter, all jobs still complete).
+# steal counter, all jobs still complete); and a kill-and-restart pass:
+# submit N jobs against -journal-dir, SIGKILL the daemon mid-run,
+# restart it on the same directory, and require all N jobs to complete
+# with a non-zero journal replay — zero accepted-job loss across a
+# crash.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,18 +24,13 @@ DPID=""
 go build -o "$BIN/dollympd" ./cmd/dollympd
 go build -o "$BIN/dollymp-load" ./cmd/dollymp-load
 
-# smoke_pass <shards> <njobs> <daemon extra args> [extra load args...]
-smoke_pass() {
-    local shards=$1 njobs=$2 dargs=$3; shift 3
-    local LOG="$BIN/dollympd-$shards${dargs// /}.log"
-
-    # shellcheck disable=SC2086
-    "$BIN/dollympd" -addr 127.0.0.1:0 -deterministic -queue-cap 128 \
-        -shards "$shards" $dargs >"$LOG" 2>&1 &
+# start_daemon <log> <daemon args...>: boots dollympd, waits for the
+# bound address to appear in the log, and sets DPID / ADDR.
+start_daemon() {
+    local LOG=$1; shift
+    "$BIN/dollympd" -addr 127.0.0.1:0 -deterministic "$@" >"$LOG" 2>&1 &
     DPID=$!
-
-    # Wait for the bound address to appear in the log.
-    local ADDR=""
+    ADDR=""
     for _ in $(seq 1 50); do
         ADDR="$(sed -n 's/^dollympd: listening on \(http:\/\/.*\)$/\1/p' "$LOG")"
         [ -n "$ADDR" ] && break
@@ -39,6 +38,15 @@ smoke_pass() {
         sleep 0.1
     done
     [ -n "$ADDR" ] || { echo "smoke: daemon never reported its address"; cat "$LOG"; exit 1; }
+}
+
+# smoke_pass <shards> <njobs> <daemon extra args> [extra load args...]
+smoke_pass() {
+    local shards=$1 njobs=$2 dargs=$3; shift 3
+    local LOG="$BIN/dollympd-$shards${dargs// /}.log"
+
+    # shellcheck disable=SC2086
+    start_daemon "$LOG" -queue-cap 128 -shards "$shards" $dargs
     echo "smoke: daemon at $ADDR (shards=$shards${dargs:+ $dargs})"
 
     # The error surface must be envelope-shaped before, and the happy
@@ -54,10 +62,43 @@ smoke_pass() {
     echo "smoke: OK ($njobs jobs, shards=$shards${dargs:+ $dargs}, clean drain)"
 }
 
+# Kill-and-restart pass: no accepted job may survive only in memory.
+# Submit N jobs, SIGKILL the daemon (no drain, no journal close),
+# restart it on the same -journal-dir, and watch until all N complete —
+# -min-replayed 1 requires the restart to have actually recovered state
+# from the journal rather than starting empty.
+smoke_crash() {
+    local njobs=$1
+    local JDIR="$BIN/journal"
+    local LOG="$BIN/dollympd-crash-1.log"
+
+    start_daemon "$LOG" -queue-cap 256 -shards 2 -journal-dir "$JDIR"
+    echo "smoke: daemon at $ADDR (journal-dir, pre-crash)"
+    "$BIN/dollymp-load" -addr "$ADDR" -n "$njobs" -c "$WORKERS" -batch 8
+    kill -9 "$DPID"
+    wait "$DPID" 2>/dev/null || true
+    DPID=""
+
+    LOG="$BIN/dollympd-crash-2.log"
+    start_daemon "$LOG" -queue-cap 256 -shards 2 -journal-dir "$JDIR"
+    echo "smoke: daemon at $ADDR (journal-dir, post-crash)"
+    grep -q "^dollympd: journal " "$LOG" \
+        || { echo "smoke: no replay summary after restart"; cat "$LOG"; exit 1; }
+    "$BIN/dollymp-load" -addr "$ADDR" -n "$njobs" -watch -min-replayed 1 -timeout 90s
+
+    kill -TERM "$DPID"
+    wait "$DPID" || { echo "smoke: daemon exited non-zero"; cat "$LOG"; exit 1; }
+    DPID=""
+    grep -q "drained: $njobs submitted, $njobs completed" "$LOG" \
+        || { echo "smoke: post-crash drain summary missing or wrong"; cat "$LOG"; exit 1; }
+    echo "smoke: OK ($njobs jobs, SIGKILL + journal replay, zero loss)"
+}
+
 smoke_pass 1 "$JOBS" ""
 smoke_pass 4 "$JOBS" "" -batch 8
 # Skewed pass: -route single funnels everything onto shard 0's queue;
 # -min-steals requires the rebalancer to have actually migrated work.
 smoke_pass 4 $((JOBS * 8)) "-route single -steal -steal-interval 200us" \
     -batch 8 -min-steals 1
+smoke_crash "$JOBS"
 echo "smoke: OK (all passes)"
