@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short race bench check staticcheck smoke sweep figures figures-paper cover clean
+.PHONY: all build test test-short race bench bench-gate check staticcheck smoke sweep figures figures-paper cover clean
 
 all: build test
 
@@ -44,8 +44,27 @@ test-short:
 race:
 	go test -race ./...
 
+# Regenerate the checked-in bench trajectory: the Go micro-benchmarks
+# (BenchmarkRouterDrain et al., stdout only), the online-engine drain
+# (1M jobs at the full profile), the sharded-router drain, and the
+# multi-seed sweep grid. Leaves exactly BENCH_engine.json,
+# BENCH_router.json and BENCH_sweep.json behind — commit them with the
+# PR so the bench-gate has a baseline to compare against.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem -run '^$$' ./...
+	go run ./cmd/dollymp-bench -drain engine -o BENCH_engine.json
+	go run ./cmd/dollymp-bench -drain router -o BENCH_router.json
+	go run ./cmd/dollymp-bench -sweep -o BENCH_sweep.json
+
+# Re-run the short drain profiles and fail if jobs/s dropped or peak
+# RSS rose more than 10% against the committed baselines (what CI's
+# bench-gate job runs). Fresh reports are kept for artifact upload and
+# removed by `make clean`.
+bench-gate:
+	go run ./cmd/dollymp-bench -drain engine -profiles short -o BENCH_engine.fresh.json
+	go run ./cmd/dollymp-bench -drain router -profiles short -o BENCH_router.fresh.json
+	go run ./cmd/dollymp-bench -gate -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
+	go run ./cmd/dollymp-bench -gate -baseline BENCH_router.json -fresh BENCH_router.fresh.json
 
 # Regenerate every paper figure (quick scale; use figures-paper for
 # evaluation-scale job counts).
@@ -59,5 +78,8 @@ cover:
 	go test -coverprofile=cover.out ./...
 	go tool cover -func=cover.out | tail -1
 
+# Remove generated-but-uncommitted artifacts. The committed BENCH_*.json
+# baselines are deliberately NOT cleaned; *.fresh.json are the
+# bench-gate's throwaway comparison runs.
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out *.fresh.json cpu.pprof mem.pprof

@@ -1,0 +1,423 @@
+package main
+
+// The drain benchmarks behind the checked-in bench trajectory:
+// `-drain engine` drives the online engine through a large injected
+// workload (the full profile is a 1M-job drain), `-drain router`
+// pushes jobs through the sharded service core end to end, and `-gate`
+// compares a fresh run against the committed BENCH_engine.json /
+// BENCH_router.json baseline, failing on regression. jobs/s and peak
+// RSS are the tracked series; clock_slots is deterministic and doubles
+// as a cross-run sanity check that the simulated schedule itself did
+// not drift.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/resources"
+	"dollymp/internal/sched"
+	"dollymp/internal/shard"
+	"dollymp/internal/sim"
+	"dollymp/internal/workload"
+)
+
+// drainOptions carries the -drain flag group.
+type drainOptions struct {
+	area     string // "engine" or "router"
+	profiles string // comma-separated subset of short,full
+	out      string // JSON path; "-" = stdout
+}
+
+// drainProfile fixes one measurement's scale. Profiles are named so the
+// CI gate can re-run `short` alone and compare it against the committed
+// baseline's entry of the same name.
+type drainProfile struct {
+	name   string
+	jobs   int
+	fleet  int
+	shards int // router only
+}
+
+func engineProfiles() []drainProfile {
+	return []drainProfile{
+		// Both profiles use the same fleet so jobs/s is comparable and
+		// the full run isolates memory behaviour (10× the jobs must not
+		// mean 10× the RSS) rather than scheduler cost on a larger fleet.
+		{name: "short", jobs: 100_000, fleet: 200},
+		{name: "full", jobs: 1_000_000, fleet: 200},
+	}
+}
+
+func routerProfiles() []drainProfile {
+	return []drainProfile{
+		{name: "short", jobs: 2_000, fleet: 64, shards: 4},
+		{name: "full", jobs: 10_000, fleet: 256, shards: 4},
+	}
+}
+
+// drainRun is one measured drain in a BENCH_engine.json /
+// BENCH_router.json report. peak_rss_bytes is omitted where
+// /proc/self/status is unavailable.
+type drainRun struct {
+	Profile      string  `json:"profile"`
+	Jobs         int     `json:"jobs"`
+	Fleet        int     `json:"fleet"`
+	Shards       int     `json:"shards,omitempty"`
+	Scheduler    string  `json:"scheduler"`
+	Seed         uint64  `json:"seed"`
+	ClockSlots   int64   `json:"clock_slots"`
+	WallTimeNs   int64   `json:"wall_time_ns"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes,omitempty"`
+	// PendingPeak is the arrival-queue high-water mark (engine drains
+	// only): bounded memory shows up here as pending ≪ jobs.
+	PendingPeak int `json:"pending_arrivals_peak,omitempty"`
+}
+
+// drainReport is the BENCH_engine.json / BENCH_router.json schema.
+type drainReport struct {
+	Schema string     `json:"schema"`
+	Area   string     `json:"area"`
+	Runs   []drainRun `json:"runs"`
+}
+
+const drainSchema = "dollymp-bench-drain/v1"
+
+func parseProfiles(area, s string) ([]drainProfile, error) {
+	var all []drainProfile
+	switch area {
+	case "engine":
+		all = engineProfiles()
+	case "router":
+		all = routerProfiles()
+	default:
+		return nil, fmt.Errorf("unknown -drain %q (engine or router)", area)
+	}
+	if s == "" {
+		return all, nil
+	}
+	var out []drainProfile
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, p := range all {
+			if p.name == name {
+				out = append(out, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown -profiles entry %q (short or full)", name)
+		}
+	}
+	return out, nil
+}
+
+// runDrainMode executes the selected profiles and writes the report.
+func runDrainMode(opts drainOptions, stdout io.Writer) error {
+	profiles, err := parseProfiles(opts.area, opts.profiles)
+	if err != nil {
+		return err
+	}
+	report := drainReport{Schema: drainSchema, Area: opts.area}
+	for _, p := range profiles {
+		var run drainRun
+		var err error
+		switch opts.area {
+		case "engine":
+			run, err = engineDrain(p)
+		case "router":
+			run, err = routerDrain(p)
+		}
+		if err != nil {
+			return fmt.Errorf("drain %s/%s: %w", opts.area, p.name, err)
+		}
+		fmt.Fprintf(stdout, "%s/%s: %d jobs in %.2fs = %.0f jobs/s (clock %d slots, pending peak %d)\n",
+			opts.area, p.name, run.Jobs, float64(run.WallTimeNs)/1e9, run.JobsPerSec,
+			run.ClockSlots, run.PendingPeak)
+		report.Runs = append(report.Runs, run)
+	}
+	out := opts.out
+	if out == "" {
+		out = "BENCH_" + opts.area + ".json"
+	}
+	if err := writeJSON(out, &report, stdout); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Fprintf(stdout, "wrote %s (%d runs)\n", out, len(report.Runs))
+	}
+	return nil
+}
+
+// drainJob builds the i-th synthetic job of a drain workload: a
+// one-phase job whose task count and duration cycle deterministically,
+// the same shape BenchmarkRouterDrain uses.
+func drainJob(i int) *workload.Job {
+	return &workload.Job{
+		Name: "drain", App: "bench",
+		Phases: []workload.Phase{{
+			Name: "p", Tasks: 1 + i%4, Demand: resources.Cores(1, 2),
+			MeanDuration: float64(2 + i%8), SDDuration: 1,
+		}},
+	}
+}
+
+// engineDrain drives one online engine through p.jobs injected jobs —
+// the hot path the indexed-heap arrival queue and the taskCopy pool
+// serve. Injection is paced by a bounded lookahead window, the shape of
+// a live daemon's admission stream: peak RSS therefore measures the
+// pending backlog, not the lifetime workload.
+func engineDrain(p drainProfile) (drainRun, error) {
+	scheduler, err := core.New(core.WithClones(2))
+	if err != nil {
+		return drainRun{}, err
+	}
+	const seed = 1
+	eng, err := sim.New(sim.Config{
+		Cluster:   cluster.LargeFleet(p.fleet, seed),
+		Scheduler: scheduler,
+		Seed:      seed,
+		Online:    true,
+		MaxSlots:  1 << 62,
+	})
+	if err != nil {
+		return drainRun{}, err
+	}
+
+	// Arrival pacing: target roughly half of fleet core-slot capacity so
+	// the engine stays busy without building an unbounded backlog.
+	// LargeFleet averages ~14 cores/server; a mean job is ~2.5 tasks ×
+	// ~5.5 slots × ~2 copies (clone budget) ≈ 27 core-slots, so load 0.5
+	// needs ≈ fleet/4 jobs per slot.
+	jobsPerSlot := p.fleet / 4
+	if jobsPerSlot < 1 {
+		jobsPerSlot = 1
+	}
+	const window = 4096 // max injected-but-not-arrived jobs
+
+	start := time.Now()
+	next := 0
+	pendingPeak := 0
+	inject := func() error {
+		for next < p.jobs && eng.PendingArrivals() < window {
+			j := drainJob(next)
+			j.ID = workload.JobID(next + 1)
+			j.Arrival = int64(next / jobsPerSlot)
+			if _, err := eng.InjectJob(j); err != nil {
+				return err
+			}
+			next++
+		}
+		if pa := eng.PendingArrivals(); pa > pendingPeak {
+			pendingPeak = pa
+		}
+		return nil
+	}
+	if err := inject(); err != nil {
+		return drainRun{}, err
+	}
+	for {
+		idle, err := eng.Step()
+		if err != nil {
+			return drainRun{}, err
+		}
+		if err := inject(); err != nil {
+			return drainRun{}, err
+		}
+		if idle && next >= p.jobs {
+			break
+		}
+	}
+	wall := time.Since(start)
+	res := eng.Finalize()
+	if len(res.Jobs) != p.jobs {
+		return drainRun{}, fmt.Errorf("completed %d of %d jobs", len(res.Jobs), p.jobs)
+	}
+
+	run := drainRun{
+		Profile: p.name, Jobs: p.jobs, Fleet: p.fleet,
+		Scheduler: scheduler.Name(), Seed: seed,
+		ClockSlots: eng.Clock(), WallTimeNs: wall.Nanoseconds(),
+		JobsPerSec:  float64(p.jobs) / wall.Seconds(),
+		PendingPeak: pendingPeak,
+	}
+	if rss, ok := peakRSSBytes(); ok {
+		run.PeakRSSBytes = rss
+	}
+	return run, nil
+}
+
+// routerDrain pushes p.jobs through the sharded service core (submit +
+// schedule + drain, no HTTP): the jobs/s companion series to
+// BenchmarkRouterDrain, in BENCH_router.json form.
+func routerDrain(p drainProfile) (drainRun, error) {
+	const seed = 7
+	r, err := shard.New(shard.Config{
+		Fleet:  cluster.LargeFleet(p.fleet, 1),
+		Shards: p.shards,
+		NewScheduler: func(int) (sched.Scheduler, error) {
+			return core.New(core.WithClones(2))
+		},
+		Seed: seed, QueueCap: 8192,
+	})
+	if err != nil {
+		return drainRun{}, err
+	}
+	start := time.Now()
+	r.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	for i := 0; i < p.jobs; i++ {
+		if _, err := r.Submit(ctx, drainJob(i)); err != nil {
+			return drainRun{}, fmt.Errorf("submit %d: %w", i, err)
+		}
+	}
+	if err := r.Stop(ctx); err != nil {
+		return drainRun{}, err
+	}
+	wall := time.Since(start)
+	if c := r.Counts(); c.Completed != int64(p.jobs) {
+		return drainRun{}, fmt.Errorf("completed %d of %d jobs", c.Completed, p.jobs)
+	}
+	var clock int64
+	for _, st := range r.Shards() {
+		if st.Clock > clock {
+			clock = st.Clock
+		}
+	}
+
+	run := drainRun{
+		Profile: p.name, Jobs: p.jobs, Fleet: p.fleet, Shards: p.shards,
+		Scheduler: "dollymp2", Seed: seed,
+		ClockSlots: clock, WallTimeNs: wall.Nanoseconds(),
+		JobsPerSec: float64(p.jobs) / wall.Seconds(),
+	}
+	if rss, ok := peakRSSBytes(); ok {
+		run.PeakRSSBytes = rss
+	}
+	return run, nil
+}
+
+// writeJSON writes v indented to path ("-" = stdout).
+func writeJSON(path string, v interface{}, stdout io.Writer) error {
+	if path == "-" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// gateOptions carries the -gate flag group.
+type gateOptions struct {
+	baseline  string
+	fresh     string
+	tolerance float64
+}
+
+// runGateMode compares a fresh drain report against the committed
+// baseline: for every profile present in the fresh report, jobs/s must
+// not drop more than tolerance below the baseline and peak RSS must not
+// rise more than tolerance above it. A regression is an error — CI
+// fails the build.
+func runGateMode(opts gateOptions, stdout io.Writer) error {
+	if opts.baseline == "" || opts.fresh == "" {
+		return fmt.Errorf("-gate requires -baseline and -fresh")
+	}
+	if opts.tolerance <= 0 || opts.tolerance >= 1 {
+		return fmt.Errorf("-tolerance %v out of (0,1)", opts.tolerance)
+	}
+	base, err := readDrainReport(opts.baseline)
+	if err != nil {
+		return err
+	}
+	fresh, err := readDrainReport(opts.fresh)
+	if err != nil {
+		return err
+	}
+	if base.Area != fresh.Area {
+		return fmt.Errorf("area mismatch: baseline %q vs fresh %q", base.Area, fresh.Area)
+	}
+	baseByProfile := make(map[string]drainRun, len(base.Runs))
+	for _, r := range base.Runs {
+		baseByProfile[r.Profile] = r
+	}
+	var regressions []string
+	compared := 0
+	for _, fr := range fresh.Runs {
+		br, ok := baseByProfile[fr.Profile]
+		if !ok {
+			return fmt.Errorf("baseline %s has no %q profile to compare against", opts.baseline, fr.Profile)
+		}
+		compared++
+		fmt.Fprintf(stdout, "%s/%s: jobs/s %.0f -> %.0f (%+.1f%%)",
+			fresh.Area, fr.Profile, br.JobsPerSec, fr.JobsPerSec,
+			100*(fr.JobsPerSec/br.JobsPerSec-1))
+		if fr.JobsPerSec < br.JobsPerSec*(1-opts.tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s jobs/s regressed %.0f -> %.0f (more than %.0f%%)",
+				fresh.Area, fr.Profile, br.JobsPerSec, fr.JobsPerSec, 100*opts.tolerance))
+		}
+		if br.PeakRSSBytes > 0 && fr.PeakRSSBytes > 0 {
+			fmt.Fprintf(stdout, ", peak RSS %d -> %d (%+.1f%%)",
+				br.PeakRSSBytes, fr.PeakRSSBytes,
+				100*(float64(fr.PeakRSSBytes)/float64(br.PeakRSSBytes)-1))
+			if float64(fr.PeakRSSBytes) > float64(br.PeakRSSBytes)*(1+opts.tolerance) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s peak RSS regressed %d -> %d bytes (more than %.0f%%)",
+					fresh.Area, fr.Profile, br.PeakRSSBytes, fr.PeakRSSBytes, 100*opts.tolerance))
+			}
+		}
+		fmt.Fprintln(stdout)
+		if br.ClockSlots != 0 && fr.ClockSlots != br.ClockSlots {
+			// Not a perf gate: the simulated schedule itself changed, so
+			// the jobs/s comparison is between different workloads.
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s clock drifted %d -> %d slots: the benchmark workload or engine semantics changed; regenerate the baseline deliberately",
+				fresh.Area, fr.Profile, br.ClockSlots, fr.ClockSlots))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("fresh report %s has no runs", opts.fresh)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench gate failed:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(stdout, "bench gate passed: %d profile(s) within %.0f%% of %s\n",
+		compared, 100*opts.tolerance, opts.baseline)
+	return nil
+}
+
+func readDrainReport(path string) (*drainReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r drainReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != drainSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, drainSchema)
+	}
+	return &r, nil
+}

@@ -136,7 +136,16 @@ func main() {
 
 		sweepMode = flag.Bool("sweep", false, "run the (scheduler × seed × load) sweep grid instead of figures")
 		opts      sweepOptions
+
+		drainArea = flag.String("drain", "", "run a drain benchmark instead of figures: engine (online-engine job drain) or router (sharded service drain)")
+		profiles  = flag.String("profiles", "", "comma-separated drain profiles to run (short,full; default all)")
+
+		gateMode = flag.Bool("gate", false, "compare a fresh drain report against a committed baseline and fail on regression")
+		gateOpts gateOptions
 	)
+	flag.StringVar(&gateOpts.baseline, "baseline", "", "committed drain report for -gate (e.g. BENCH_engine.json)")
+	flag.StringVar(&gateOpts.fresh, "fresh", "", "freshly generated drain report for -gate")
+	flag.Float64Var(&gateOpts.tolerance, "tolerance", 0.10, "allowed fractional regression for -gate (jobs/s down or peak RSS up)")
 	flag.StringVar(&opts.schedulers, "sweep-schedulers", "", "comma-separated scheduler names for -sweep (default capacity,tetris,dollymp2; see internal/experiments.SweepSchedulerNames)")
 	flag.IntVar(&opts.seeds, "sweep-seeds", 0, "number of replication seeds for -sweep (default 8)")
 	flag.Uint64Var(&opts.seedBase, "sweep-seed-base", 0, "first seed of the replication range (default: scale seed)")
@@ -150,10 +159,23 @@ func main() {
 	flag.Parse()
 
 	var err error
-	if *sweepMode {
+	switch {
+	case *gateMode:
+		err = runGateMode(gateOpts, os.Stdout)
+	case *drainArea != "":
+		// -o defaults to the sweep path; a drain run writes
+		// BENCH_<area>.json unless the user set -o explicitly.
+		out := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "o" {
+				out = opts.out
+			}
+		})
+		err = runDrainMode(drainOptions{area: *drainArea, profiles: *profiles, out: out}, os.Stdout)
+	case *sweepMode:
 		opts.scale = *scaleName
 		err = runSweepMode(opts, os.Stdout)
-	} else {
+	default:
 		err = realMain(*scaleName, *fig, *format, os.Stdout)
 	}
 	if err != nil {

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParsePeakRSS(t *testing.T) {
+	cases := []struct {
+		name   string
+		status string
+		want   int64
+		ok     bool
+	}{
+		{"typical", "Name:\tdollymp-bench\nVmPeak:\t  123 kB\nVmHWM:\t  204800 kB\nVmRSS:\t  1024 kB\n", 204800 * 1024, true},
+		{"first line", "VmHWM:\t4 kB\n", 4096, true},
+		{"missing field", "Name:\tx\nVmRSS:\t1024 kB\n", 0, false},
+		{"empty", "", 0, false},
+		{"truncated line", "VmHWM:\n", 0, false},
+		{"malformed number", "VmHWM:\tnope kB\n", 0, false},
+		{"negative", "VmHWM:\t-5 kB\n", 0, false},
+		// A prefix match must not bite on a different field.
+		{"no false prefix", "NonVmHWM:\t7 kB\n", 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, ok := parsePeakRSS(c.status)
+			if got != c.want || ok != c.ok {
+				t.Fatalf("parsePeakRSS(%q) = (%d, %v), want (%d, %v)", c.status, got, ok, c.want, c.ok)
+			}
+		})
+	}
+}
+
+// TestPeakRSSBytesLive sanity-checks the live read on Linux: a running
+// Go process has touched at least a megabyte.
+func TestPeakRSSBytesLive(t *testing.T) {
+	v, ok := peakRSSBytes()
+	if !ok {
+		t.Skip("/proc/self/status unavailable")
+	}
+	if v < 1<<20 {
+		t.Fatalf("implausible peak RSS %d bytes", v)
+	}
+}

@@ -35,7 +35,9 @@ type sweepOptions struct {
 // sweepReport is the BENCH_sweep.json schema (version
 // "dollymp-bench-sweep/v1"): the grid, per-cell JCT statistics, and
 // across-seed aggregates. Everything except wall_time_ns, sched_wall_ns
-// and peak_rss_bytes is deterministic for a given grid.
+// and peak_rss_bytes is deterministic for a given grid. peak_rss_bytes
+// is omitted entirely where /proc/self/status is unavailable — absent,
+// not a misleading zero.
 type sweepReport struct {
 	Schema       string            `json:"schema"`
 	Scale        string            `json:"scale"`
@@ -46,7 +48,7 @@ type sweepReport struct {
 	Fleet        int               `json:"fleet"`
 	Workers      int               `json:"workers"`
 	WallTimeNs   int64             `json:"wall_time_ns"`
-	PeakRSSBytes int64             `json:"peak_rss_bytes"`
+	PeakRSSBytes int64             `json:"peak_rss_bytes,omitempty"`
 	Cells        []sweepCell       `json:"cells"`
 	Aggregates   []sweep.Aggregate `json:"aggregates"`
 }
@@ -163,17 +165,19 @@ func runSweepMode(opts sweepOptions, stdout io.Writer) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	report := sweepReport{
-		Schema:       "dollymp-bench-sweep/v1",
-		Scale:        opts.scale,
-		Schedulers:   cfg.Schedulers,
-		Seeds:        cfg.Seeds,
-		Loads:        cfg.Loads,
-		Jobs:         cfg.Jobs,
-		Fleet:        cfg.Fleet,
-		Workers:      workers,
-		WallTimeNs:   wall.Nanoseconds(),
-		PeakRSSBytes: peakRSSBytes(),
-		Aggregates:   out.Aggregates,
+		Schema:     "dollymp-bench-sweep/v1",
+		Scale:      opts.scale,
+		Schedulers: cfg.Schedulers,
+		Seeds:      cfg.Seeds,
+		Loads:      cfg.Loads,
+		Jobs:       cfg.Jobs,
+		Fleet:      cfg.Fleet,
+		Workers:    workers,
+		WallTimeNs: wall.Nanoseconds(),
+		Aggregates: out.Aggregates,
+	}
+	if rss, ok := peakRSSBytes(); ok {
+		report.PeakRSSBytes = rss
 	}
 	for _, c := range out.Cells {
 		report.Cells = append(report.Cells, sweepCell{Cell: c.Cell, JCTStats: c.Stats})
@@ -228,26 +232,3 @@ func writeSweepSummary(w io.Writer, r *sweepReport) error {
 	return tab.Write(w)
 }
 
-// peakRSSBytes reads the process high-water resident set from
-// /proc/self/status (VmHWM). Returns 0 where that is unavailable.
-func peakRSSBytes() int64 {
-	b, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	for _, line := range strings.Split(string(b), "\n") {
-		if !strings.HasPrefix(line, "VmHWM:") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return 0
-		}
-		kb, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return 0
-		}
-		return kb * 1024
-	}
-	return 0
-}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dollymp/internal/cluster"
 	"dollymp/internal/journal"
@@ -309,5 +310,47 @@ func TestResultNotDrained(t *testing.T) {
 	}
 	if int64(len(res.Jobs)) != s.Counts().Completed {
 		t.Fatalf("result has %d jobs, counts %+v", len(res.Jobs), s.Counts())
+	}
+}
+
+// TestServiceJournalAdmitBurstCommit certifies that a burst of admits
+// is made durable by one batched Commit at the end of the burst: the
+// admitted records must become visible in the segment without any later
+// submission's fsync (and long before Close) to piggyback on.
+func TestServiceJournalAdmitBurstCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	s, jnl, _ := openJournalService(t, path, 64)
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := s.SubmitNowait(testJob(1, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Start()
+	// Poll the on-disk segment: the admitted records land only via the
+	// loop's burst commit — nothing else flushes the journal here.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep, err := journal.ReplayFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted := 0
+		for _, rj := range rep.Jobs {
+			if rj.Admitted {
+				admitted++
+			}
+		}
+		if admitted == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d admitted records durable after burst", admitted, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stopDrained(t, s)
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -92,12 +92,14 @@ func (e *Engine) PhaseOutputRack(id workload.JobID, k workload.PhaseID) (int, bo
 // PhaseStats returns the observed completed-task duration statistics for
 // a phase. With no observations yet it falls back to the declared model
 // (mean, sd) with n = 0, matching the paper's AM behavior of seeding
-// estimates from prior runs.
+// estimates from prior runs. Statistics live as long as the job does:
+// once the job completes, its per-phase state is released (releaseJob)
+// and queries return zeros.
 func (e *Engine) PhaseStats(id workload.JobID, k workload.PhaseID) (mean, sd float64, n int) {
 	if obs := e.observed[phaseKey{id, k}]; obs != nil && obs.N() > 0 {
 		return obs.Mean(), obs.SD(), obs.N()
 	}
-	if js, ok := e.states[id]; ok && int(k) >= 0 && int(k) < len(js.Job.Phases) {
+	if js := e.states[id]; js != nil && int(k) >= 0 && int(k) < len(js.Job.Phases) {
 		ph := &js.Job.Phases[k]
 		return ph.MeanDuration, ph.SDDuration, 0
 	}

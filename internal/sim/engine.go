@@ -11,7 +11,6 @@ package sim
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 	"time"
 
 	"dollymp/internal/cluster"
@@ -132,12 +131,18 @@ type Engine struct {
 	cfg    Config
 	clock  int64
 	states map[workload.JobID]*workload.JobState
-	sorted []*workload.JobState // all jobs by (arrival, ID)
-	active []*workload.JobState // arrived, unfinished
-	next   int                  // index into sorted of next arrival
+	// arrivals holds not-yet-arrived jobs as an indexed min-heap keyed
+	// (arrival, ID); popped entries are released (see arrivals.go).
+	arrivals arrivalQueue
+	active   []*workload.JobState // arrived, unfinished
 
 	copies     map[workload.TaskRef][]*taskCopy
 	running    copyHeap
+	// copyFree recycles taskCopy objects between placements — the
+	// per-event allocation the profiler flags on the drain hot path. A
+	// copy returns to the list only once it is out of both e.copies and
+	// the running heap.
+	copyFree []*taskCopy
 	rng        *stats.RNG
 	dists      map[phaseKey]stats.Pareto
 	observed   map[phaseKey]*stats.Summary
@@ -213,19 +218,13 @@ func New(cfg Config) (*Engine, error) {
 			e.rackCount = s.Rack + 1
 		}
 	}
-	e.sorted = make([]*workload.JobState, 0, len(cfg.Jobs))
+	pending := make([]*workload.JobState, 0, len(cfg.Jobs))
 	for _, j := range cfg.Jobs {
 		s := workload.NewJobState(j)
 		e.states[j.ID] = s
-		e.sorted = append(e.sorted, s)
+		pending = append(pending, s)
 	}
-	sort.Slice(e.sorted, func(i, j int) bool {
-		a, b := e.sorted[i].Job, e.sorted[j].Job
-		if a.Arrival != b.Arrival {
-			return a.Arrival < b.Arrival
-		}
-		return a.ID < b.ID
-	})
+	e.arrivals.Init(pending)
 	return e, nil
 }
 
@@ -252,7 +251,7 @@ func (e *Engine) Run() (*Result, error) {
 // caller can resume from by injecting more jobs (see online.go).
 func (e *Engine) Step() (idle bool, err error) {
 	e.Start()
-	if len(e.active) == 0 && e.next >= len(e.sorted) {
+	if len(e.active) == 0 && e.arrivals.Len() == 0 {
 		return true, nil
 	}
 	t, ok := e.nextEventTime()
@@ -287,17 +286,17 @@ func (e *Engine) Step() (idle bool, err error) {
 			return false, err
 		}
 	}
-	return len(e.active) == 0 && e.next >= len(e.sorted), nil
+	return len(e.active) == 0 && e.arrivals.Len() == 0, nil
 }
 
 // nextEventTime returns the next slot at which anything can happen.
 func (e *Engine) nextEventTime() (int64, bool) {
 	t := int64(-1)
-	if e.next < len(e.sorted) {
-		t = e.sorted[e.next].Job.Arrival
+	if js := e.arrivals.Peek(); js != nil {
+		t = js.Job.Arrival
 	}
 	for len(e.running) > 0 && e.running[0].killed {
-		heap.Pop(&e.running)
+		e.freeCopy(heap.Pop(&e.running).(*taskCopy))
 	}
 	if len(e.running) > 0 {
 		if t < 0 || e.running[0].finish < t {
@@ -351,9 +350,8 @@ func (e *Engine) advanceTo(t int64) {
 
 func (e *Engine) processArrivals() ([]*workload.JobState, error) {
 	var arrived []*workload.JobState
-	for e.next < len(e.sorted) && e.sorted[e.next].Job.Arrival <= e.clock {
-		js := e.sorted[e.next]
-		e.next++
+	for js := e.arrivals.Peek(); js != nil && js.Job.Arrival <= e.clock; js = e.arrivals.Peek() {
+		e.arrivals.Pop()
 		e.active = append(e.active, js)
 		arrived = append(arrived, js)
 	}
@@ -365,13 +363,37 @@ func (e *Engine) processCompletions() error {
 	for len(e.running) > 0 && e.running[0].finish <= e.clock {
 		c := heap.Pop(&e.running).(*taskCopy)
 		if c.killed {
+			// A sibling the winner already killed: its last reference was
+			// the heap slot, so it can be recycled.
+			e.freeCopy(c)
 			continue
 		}
 		if err := e.completeTask(c); err != nil {
 			return err
 		}
+		// completeTask dropped the task's copy list; the winner's last
+		// reference was the heap slot popped above.
+		e.freeCopy(c)
 	}
 	return nil
+}
+
+// newCopy takes a taskCopy from the free list, or allocates one.
+func (e *Engine) newCopy() *taskCopy {
+	if n := len(e.copyFree); n > 0 {
+		c := e.copyFree[n-1]
+		e.copyFree[n-1] = nil
+		e.copyFree = e.copyFree[:n-1]
+		return c
+	}
+	return &taskCopy{}
+}
+
+// freeCopy returns a copy to the free list. The caller guarantees no
+// live reference remains (not in e.copies, not in the running heap).
+func (e *Engine) freeCopy(c *taskCopy) {
+	*c = taskCopy{}
+	e.copyFree = append(e.copyFree, c)
 }
 
 // completeTask finishes the task whose first copy just completed: records
@@ -443,8 +465,28 @@ func (e *Engine) completeTask(winner *taskCopy) error {
 		js.Finish = e.clock
 		e.removeActive(js)
 		e.recordJob(js)
+		e.releaseJob(js)
 	}
 	return nil
+}
+
+// releaseJob drops the engine's per-job bookkeeping once a job has
+// completed and its metrics are recorded. Every per-phase map is keyed
+// (job, phase) and only ever consulted while that job runs, so the
+// entries are dead weight afterwards; a long-lived online engine must
+// not retain them per job ever completed. The states entry is kept as a
+// nil marker so InjectJob still rejects re-use of a finished job ID.
+func (e *Engine) releaseJob(js *workload.JobState) {
+	id := js.Job.ID
+	e.states[id] = nil
+	delete(e.alloc, id)
+	for k := range js.Job.Phases {
+		key := phaseKey{id, workload.PhaseID(k)}
+		delete(e.dists, key)
+		delete(e.observed, key)
+		delete(e.outputRack, key)
+		delete(e.copiesPerTask, key)
+	}
 }
 
 func (e *Engine) removeActive(js *workload.JobState) {
@@ -486,6 +528,9 @@ func (e *Engine) applyPlacement(p sched.Placement) error {
 	if !ok {
 		return fmt.Errorf("sim: placement for unknown job %d", p.Ref.Job)
 	}
+	if js == nil {
+		return fmt.Errorf("sim: placement for completed job %d", p.Ref.Job)
+	}
 	if js.Job.Arrival > e.clock {
 		return fmt.Errorf("sim: placement for job %d before its arrival", p.Ref.Job)
 	}
@@ -514,7 +559,8 @@ func (e *Engine) applyPlacement(p sched.Placement) error {
 	}
 
 	dur, penalty := e.sampleDuration(js, p.Ref, p.Server)
-	c := &taskCopy{
+	c := e.newCopy()
+	*c = taskCopy{
 		ref:     p.Ref,
 		server:  p.Server,
 		demand:  ph.Demand,

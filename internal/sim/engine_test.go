@@ -367,7 +367,18 @@ func TestPhaseStatsFallbackAndObservation(t *testing.T) {
 		{Name: "a", Tasks: 2, Demand: resources.Cores(1, 1), MeanDuration: 5, SDDuration: 2},
 		{Name: "b", Tasks: 1, Demand: resources.Cores(1, 1), MeanDuration: 3},
 	})
-	e, err := New(Config{Cluster: c, Jobs: []*workload.Job{j}, Scheduler: greedy{}, Deterministic: true})
+	// Observed stats are released when the job completes (a long-lived
+	// online engine must not retain them per job ever finished), so the
+	// post-observation check runs at the completion hook, while the job
+	// is still live.
+	var hookMean float64
+	var hookN int
+	cfg := Config{Cluster: c, Jobs: []*workload.Job{j}, Scheduler: greedy{}, Deterministic: true}
+	var e *Engine
+	cfg.OnJobComplete = func(JobMetrics) {
+		hookMean, _, hookN = e.PhaseStats(1, 0)
+	}
+	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,9 +389,11 @@ func TestPhaseStatsFallbackAndObservation(t *testing.T) {
 	if _, err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	mean, _, n = e.PhaseStats(1, 0)
-	if n != 2 || mean != 5 {
-		t.Fatalf("observed stats: mean=%v n=%d", mean, n)
+	if hookN != 2 || hookMean != 5 {
+		t.Fatalf("observed stats at completion: mean=%v n=%d", hookMean, hookN)
+	}
+	if _, _, n := e.PhaseStats(1, 0); n != 0 {
+		t.Fatal("completed job's stats should be released")
 	}
 	if _, _, n := e.PhaseStats(99, 0); n != 0 {
 		t.Fatal("unknown job stats should be zero")

@@ -11,7 +11,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"dollymp/internal/workload"
 )
@@ -48,18 +47,12 @@ func (e *Engine) InjectJob(j *workload.Job) (int64, error) {
 	}
 	js := workload.NewJobState(j)
 	e.states[j.ID] = js
-	// Insert into the pending suffix of sorted, keeping (arrival, ID)
-	// order. Clamping guarantees the insertion point is ≥ e.next.
-	i := e.next + sort.Search(len(e.sorted)-e.next, func(k int) bool {
-		s := e.sorted[e.next+k].Job
-		if s.Arrival != j.Arrival {
-			return s.Arrival > j.Arrival
-		}
-		return s.ID > j.ID
-	})
-	e.sorted = append(e.sorted, nil)
-	copy(e.sorted[i+1:], e.sorted[i:])
-	e.sorted[i] = js
+	// O(log pending) heap push; clamping guarantees the entry sorts
+	// after every already-consumed arrival, so history is never
+	// rewritten. The heap holds only pending arrivals — consumed
+	// entries were released at pop — so a long-running daemon's arrival
+	// queue stays proportional to its backlog, not its lifetime intake.
+	e.arrivals.Push(js)
 	return j.Arrival, nil
 }
 
@@ -70,7 +63,7 @@ func (e *Engine) Clock() int64 { return e.clock }
 // no pending arrivals. An idle online engine resumes when the next job
 // is injected.
 func (e *Engine) Idle() bool {
-	return len(e.active) == 0 && e.next >= len(e.sorted)
+	return len(e.active) == 0 && e.arrivals.Len() == 0
 }
 
 // ActiveJobs returns the number of arrived, unfinished jobs.
@@ -78,7 +71,7 @@ func (e *Engine) ActiveJobs() int { return len(e.active) }
 
 // PendingArrivals returns the number of injected jobs that have not yet
 // arrived.
-func (e *Engine) PendingArrivals() int { return len(e.sorted) - e.next }
+func (e *Engine) PendingArrivals() int { return e.arrivals.Len() }
 
 // CompletedJobs returns the number of jobs that have finished so far.
 func (e *Engine) CompletedJobs() int { return len(e.res.Jobs) }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -78,6 +80,117 @@ func TestOnlineMatchesBatch(t *testing.T) {
 	}
 	if online.Makespan != batch.Makespan {
 		t.Errorf("makespan: online %d, batch %d", online.Makespan, batch.Makespan)
+	}
+}
+
+// TestOnlineBatchEquivalenceProperty is the property form of the
+// injection-fidelity contract over the heap-backed arrival queue: for
+// ≥8 seeds, a random multi-phase workload driven online — each job
+// injected just before its arrival slot — must be bit-for-bit identical
+// to a batch run handed the same jobs up front. Durations are
+// stochastic (shared engine RNG), the scheduler clones aggressively,
+// and Paranoid re-verifies ledger invariants after every event, so any
+// divergence in arrival order, placement order, or RNG draw sequence
+// between the two paths fails the test.
+func TestOnlineBatchEquivalenceProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			mkJobs := func() []*workload.Job {
+				rng := rand.New(rand.NewSource(int64(seed)))
+				jobs := make([]*workload.Job, 60)
+				arrival := int64(0)
+				for i := range jobs {
+					// Strictly increasing arrivals keep "inject just
+					// before the arrival slot" well defined.
+					arrival += 1 + int64(rng.Intn(4))
+					phases := []workload.Phase{{
+						Name: "map", Tasks: 1 + rng.Intn(4),
+						Demand:       resources.Cores(1+int64(rng.Intn(2)), 1+int64(rng.Intn(3))),
+						MeanDuration: 2 + 4*rng.Float64(), SDDuration: 1 + rng.Float64(),
+					}}
+					if rng.Intn(2) == 0 {
+						phases = append(phases, workload.Phase{
+							Name: "reduce", Tasks: 1 + rng.Intn(2),
+							Demand:       resources.Cores(1, 1+int64(rng.Intn(2))),
+							MeanDuration: 1 + 3*rng.Float64(), SDDuration: 0.5,
+							Parents:      []workload.PhaseID{0},
+						})
+					}
+					jobs[i] = &workload.Job{
+						ID: workload.JobID(i + 1), Name: "prop", App: "equiv",
+						Arrival: arrival, Phases: phases,
+					}
+				}
+				return jobs
+			}
+
+			fleet := func() *cluster.Cluster { return cluster.LargeFleet(12, seed) }
+			batchEng, err := New(Config{
+				Cluster: fleet(), Jobs: mkJobs(), Scheduler: cloner{},
+				Seed: seed, Paranoid: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := batchEng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			jobs := mkJobs()
+			e, err := New(Config{
+				Cluster: fleet(), Scheduler: cloner{},
+				Seed: seed, Paranoid: true, Online: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := 0
+			inject := func() {
+				for idx < len(jobs) && (idx == 0 || jobs[idx-1].Arrival <= e.Clock()) {
+					if _, err := e.InjectJob(jobs[idx]); err != nil {
+						t.Fatal(err)
+					}
+					idx++
+				}
+			}
+			inject()
+			for {
+				idle, err := e.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				inject()
+				if idle && idx >= len(jobs) {
+					break
+				}
+			}
+			online := e.Finalize()
+
+			if len(online.Jobs) != len(batch.Jobs) {
+				t.Fatalf("online completed %d jobs, batch %d", len(online.Jobs), len(batch.Jobs))
+			}
+			bm := batch.ByJobID()
+			for _, j := range online.Jobs {
+				if b, ok := bm[j.ID]; !ok || j != b {
+					t.Errorf("job %d diverged:\n online %+v\n  batch %+v", j.ID, j, b)
+				}
+			}
+			if online.Makespan != batch.Makespan {
+				t.Errorf("makespan: online %d, batch %d", online.Makespan, batch.Makespan)
+			}
+			if online.TotalUsage != batch.TotalUsage {
+				t.Errorf("total usage: online %+v, batch %+v", online.TotalUsage, batch.TotalUsage)
+			}
+			if online.SchedCalls != batch.SchedCalls {
+				t.Errorf("scheduler calls: online %d, batch %d", online.SchedCalls, batch.SchedCalls)
+			}
+			if online.AvgUtilization != batch.AvgUtilization {
+				t.Errorf("utilization: online %v, batch %v", online.AvgUtilization, batch.AvgUtilization)
+			}
+		})
 	}
 }
 
