@@ -7,9 +7,11 @@
 // is the machine-readable envelope {"error":{"code","message"}}.
 //
 // Retry policy: the generator branches on the envelope's error code,
-// not the HTTP status line. "queue_full" is the only retryable code;
-// any other code — including 5xx-carried "draining" and "internal" —
-// aborts the run with the code surfaced in the error.
+// not the HTTP status line. "queue_full" and "unavailable" are the only
+// retryable codes — backpressure, and a federation gateway momentarily
+// without a live member during a takeover; any other code — including
+// 5xx-carried "draining" and "internal" — aborts the run with the code
+// surfaced in the error.
 //
 // Usage:
 //
@@ -187,12 +189,14 @@ func decodeEnvelope(body []byte) (service.ErrorResponse, bool) {
 }
 
 // retryable reports whether a failed submission should be retried:
-// only the envelope code "queue_full" is retryable. A bare 429 from a
-// pre-envelope daemon gets the same treatment so the generator stays
-// usable against old builds; every other status or code is fatal.
+// "queue_full" (backpressure) and "unavailable" (a federation gateway
+// with no live member mid-takeover) are the retryable codes. A bare
+// 429 from a pre-envelope daemon gets the same treatment so the
+// generator stays usable against old builds; every other status or
+// code is fatal.
 func retryable(status int, er service.ErrorResponse, ok bool) bool {
 	if ok {
-		return er.Error.Code == service.CodeQueueFull
+		return er.Error.Code == service.CodeQueueFull || er.Error.Code == service.CodeUnavailable
 	}
 	return status == http.StatusTooManyRequests
 }
@@ -370,6 +374,29 @@ func runProbe(client *http.Client, addr string, expectShards int) error {
 	if err := expectEnvelope("unknown route", resp, err, http.StatusNotFound, service.CodeNotFound); err != nil {
 		return err
 	}
+	req, rerr := http.NewRequest(http.MethodDelete, addr+"/v1/jobs", nil)
+	if rerr != nil {
+		return rerr
+	}
+	resp, err = client.Do(req)
+	if err := expectEnvelope("method mismatch", resp, err, http.StatusMethodNotAllowed, service.CodeMethodNotAllowed); err != nil {
+		return err
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, http.MethodPost) {
+		return fmt.Errorf("method mismatch: Allow %q does not offer POST", allow)
+	}
+
+	// Readiness: a serving daemon — or a gateway whose live members are
+	// all serving — answers /readyz 200 once replay and loops are up.
+	resp, err = client.Get(addr + "/readyz")
+	if err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz: status %d, want 200", resp.StatusCode)
+	}
 
 	// The happy-path list must paginate.
 	resp, err = client.Get(addr + "/v1/jobs?limit=1")
@@ -411,6 +438,6 @@ func runProbe(client *http.Client, addr string, expectShards int) error {
 		}
 	}
 
-	fmt.Printf("probe ok: error envelope verified on 5 surfaces, %d shard(s) reported\n", len(sr.Shards))
+	fmt.Printf("probe ok: error envelope verified on 6 surfaces, /readyz serving, %d shard(s) reported\n", len(sr.Shards))
 	return nil
 }

@@ -9,6 +9,8 @@
 //	dollympd -shards 4                     # 4 partitions, p2c routing
 //	dollympd -shards 4 -route single       # deterministic fallback
 //	dollympd -shards 4 -steal              # cross-shard work stealing
+//	dollympd -manifest fed.json -member m0 # one federation member
+//	dollympd -manifest fed.json -gateway   # the federation gateway
 //
 // With -shards N the fleet is partitioned into N disjoint sub-fleets,
 // each with its own scheduling loop, behind a load-aware router; at the
@@ -17,7 +19,16 @@
 // shards onto near-idle ones (-steal-ratio tunes the imbalance
 // trigger), cutting tail latency when submissions skew to one shard.
 //
-// The daemon prints "listening on http://HOST:PORT" once the socket is
+// With -manifest plus -member NAME the daemon runs as one federation
+// member: its shard count, residue classes, and journal directory come
+// from the manifest (overriding -shards and -journal-dir), and the
+// /v1 surface gains POST /v1/federation/adopt, the journal-takeover
+// endpoint. With -manifest plus -gateway the daemon runs the stateless
+// federation gateway instead: no scheduling loops of its own, just
+// routing, federated views, health probing, and takeover orchestration
+// over the manifest's members.
+//
+// Every mode prints "listening on http://HOST:PORT" once the socket is
 // bound (with the resolved port, so -addr :0 works for test harnesses),
 // serves until SIGINT/SIGTERM, then drains: the HTTP listener stops
 // accepting, queued and running jobs run to completion on every shard,
@@ -49,13 +60,16 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "random seed")
 		queueCap  = flag.Int("queue-cap", service.DefaultQueueCap, "per-shard admission queue capacity (full queue => 429)")
 		det       = flag.Bool("deterministic", false, "disable duration noise")
-		shards    = flag.Int("shards", 1, "partition count: one scheduling loop per shard")
+		shards    = flag.Int("shards", 1, "partition count: one scheduling loop per shard (ignored with -member: the manifest decides)")
 		route     = flag.String("route", "p2c", "routing policy: p2c (load-aware) or single (always shard 0)")
 		steal     = flag.Bool("steal", false, "enable the cross-shard rebalancer (migrates queued jobs off straggling shards)")
 		stealR    = flag.Float64("steal-ratio", 0, "queue-depth imbalance factor that triggers a steal (0 = default)")
 		stealIv   = flag.Duration("steal-interval", 0, "rebalancer scan period (0 = default)")
 		drainTO   = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
-		jnlDir    = flag.String("journal-dir", "", "crash-safe job journal directory; on restart, unfinished jobs are replayed (empty = in-memory only)")
+		jnlDir    = flag.String("journal-dir", "", "crash-safe job journal directory; on restart, unfinished jobs are replayed (empty = in-memory only; ignored with -member: the manifest decides)")
+		manifest  = flag.String("manifest", "", "federation membership manifest (JSON); required by -member and -gateway")
+		member    = flag.String("member", "", "run as this named member of the -manifest federation")
+		gateway   = flag.Bool("gateway", false, "run as the stateless federation gateway over -manifest")
 	)
 	flag.Parse()
 
@@ -70,41 +84,33 @@ func main() {
 		StealInterval: *stealIv,
 		JournalDir:    *jnlDir,
 	}
-	if err := run(*addr, *schedName, *fleetSpec, cfg, *drainTO); err != nil {
+	var err error
+	switch {
+	case *gateway && *member != "":
+		err = fmt.Errorf("-gateway and -member are mutually exclusive")
+	case *gateway:
+		err = runGateway(*addr, *manifest, *drainTO)
+	case *member != "":
+		err = runMember(*addr, *manifest, *member, *schedName, *fleetSpec, cfg, *drainTO)
+	default:
+		err = run(*addr, *schedName, *fleetSpec, cfg, *drainTO)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dollympd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO time.Duration) error {
-	fleet, err := dollymp.NewFleet(fleetSpec, cfg.Seed)
-	if err != nil {
-		return err
-	}
-	cfg.Fleet = fleet
-	cfg.NewScheduler = func(int) (dollymp.Scheduler, error) {
-		return dollymp.NewScheduler(dollymp.Kind(schedName))
-	}
-	router, err := dollymp.NewRouter(cfg)
-	if err != nil {
-		return err
-	}
-	if cfg.JournalDir != "" {
-		js := router.JournalStatus()
-		fmt.Printf("dollympd: journal %s: %d segments (%d stale), replayed %d jobs (%d re-enqueued, %d completed), %d torn bytes truncated\n",
-			cfg.JournalDir, js.Segments, js.StaleSegments, js.ReplayedJobs,
-			js.ReplayedPending, js.ReplayedJobs-js.ReplayedPending, js.TruncatedBytes)
-	}
-
+// serveHTTP is the listen/serve/drain path every mode shares: bind addr,
+// print the resolved address, serve h until SIGINT/SIGTERM (or a serve
+// error — an early listener death fails the process rather than hanging
+// it), then stop the listener and run drain within drainTO.
+func serveHTTP(addr string, h http.Handler, drainTO time.Duration, drain func(context.Context) error) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	router.Start()
-	srv := &http.Server{Handler: dollymp.NewAPIHandler(router)}
-
-	fmt.Printf("dollympd: scheduler=%s fleet=%s shards=%d route=%s queue-cap=%d steal=%v\n",
-		schedName, fleetSpec, router.NumShards(), cfg.Policy, cfg.QueueCap, cfg.Steal)
+	srv := &http.Server{Handler: h}
 	fmt.Printf("dollympd: listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -124,11 +130,82 @@ func run(addr, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO ti
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	if err := router.Stop(ctx); err != nil {
-		return fmt.Errorf("drain: %w", err)
+	if drain != nil {
+		if err := drain(ctx); err != nil {
+			return err
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+func run(addr, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO time.Duration) error {
+	fleet, err := dollymp.NewFleet(fleetSpec, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	cfg.Fleet = fleet
+	cfg.NewScheduler = func(int) (dollymp.Scheduler, error) {
+		return dollymp.NewScheduler(dollymp.Kind(schedName))
+	}
+	router, err := dollymp.NewRouter(cfg)
+	if err != nil {
+		return err
+	}
+	return serveRouter(addr, schedName, fleetSpec, router, cfg, dollymp.NewAPIHandler(router), drainTO)
+}
+
+// runMember runs one federation member: the manifest decides its shard
+// geometry and journal directory; the flags decide everything else.
+func runMember(addr, manifestPath, name, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO time.Duration) error {
+	if manifestPath == "" {
+		return fmt.Errorf("-member requires -manifest")
+	}
+	man, err := dollymp.LoadManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	fleet, err := dollymp.NewFleet(fleetSpec, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	cfg.Fleet = fleet
+	cfg.NewScheduler = func(int) (dollymp.Scheduler, error) {
+		return dollymp.NewScheduler(dollymp.Kind(schedName))
+	}
+	router, mb, err := dollymp.NewMemberRouter(man, name, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dollympd: federation member %s: residues %v of %d global shards, journal %s\n",
+		mb.Name, mb.Residues, man.Shards, mb.JournalDir)
+	cfg.JournalDir = mb.JournalDir
+	return serveRouter(addr, schedName, fleetSpec, router, cfg, dollymp.NewMemberHandler(router), drainTO)
+}
+
+// serveRouter starts a router (standalone or member), serves its HTTP
+// surface until shutdown, drains, and prints the run summary.
+func serveRouter(addr, schedName, fleetSpec string, router *dollymp.Router, cfg dollymp.RouterConfig, h http.Handler, drainTO time.Duration) error {
+	if cfg.JournalDir != "" {
+		js := router.JournalStatus()
+		fmt.Printf("dollympd: journal %s: %d segments (%d stale), replayed %d jobs (%d re-enqueued, %d completed), %d torn bytes truncated\n",
+			cfg.JournalDir, js.Segments, js.StaleSegments, js.ReplayedJobs,
+			js.ReplayedPending, js.ReplayedJobs-js.ReplayedPending, js.TruncatedBytes)
+	}
+	router.Start()
+	fmt.Printf("dollympd: scheduler=%s fleet=%s shards=%d route=%s queue-cap=%d steal=%v\n",
+		schedName, fleetSpec, router.NumShards(), cfg.Policy, cfg.QueueCap, cfg.Steal)
+
+	err := serveHTTP(addr, h, drainTO, func(ctx context.Context) error {
+		if err := router.Stop(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	c := router.Counts()
@@ -156,4 +233,25 @@ func run(addr, schedName, fleetSpec string, cfg dollymp.RouterConfig, drainTO ti
 			sum/float64(len(done)), ecdf.Quantile(0.95))
 	}
 	return nil
+}
+
+// runGateway runs the stateless federation gateway: no scheduling loops,
+// just routing, federated views, and takeover over the manifest.
+func runGateway(addr, manifestPath string, drainTO time.Duration) error {
+	if manifestPath == "" {
+		return fmt.Errorf("-gateway requires -manifest")
+	}
+	man, err := dollymp.LoadManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	gw, err := dollymp.NewGateway(dollymp.GatewayConfig{Manifest: man})
+	if err != nil {
+		return err
+	}
+	gw.Start()
+	defer gw.Stop()
+	fmt.Printf("dollympd: federation gateway: %d members, %d global shards\n",
+		len(man.Members), man.Shards)
+	return serveHTTP(addr, gw.Handler(), drainTO, nil)
 }

@@ -1,0 +1,46 @@
+package dollymp
+
+// The federation layer, re-exported through the facade: run the daemon
+// as N member processes — each a Router owning a disjoint set of the
+// global shard residue classes — behind one stateless gateway that
+// routes by ID arithmetic, merges cluster-wide views, and drives
+// journal takeover when a member dies:
+//
+//	man, _ := dollymp.LoadManifest("federation.json")
+//	router, mb, _ := dollymp.NewMemberRouter(man, "m0", base)
+//	router.Start()
+//	http.ListenAndServe(addr, dollymp.NewMemberHandler(router))
+//
+//	gw, _ := dollymp.NewGateway(dollymp.GatewayConfig{Manifest: man})
+//	gw.Start()
+//	http.ListenAndServe(addr, gw.Handler())
+
+import "dollymp/internal/federation"
+
+type (
+	// FederationManifest is the static membership map: P global shards
+	// split across the members' residue classes.
+	FederationManifest = federation.Manifest
+	// FederationMember is one daemon process in the federation.
+	FederationMember = federation.Member
+	// Gateway is the stateless federation front: routing, federated
+	// views, health probing, and takeover orchestration.
+	Gateway = federation.Gateway
+	// GatewayConfig configures a Gateway.
+	GatewayConfig = federation.GatewayConfig
+)
+
+// LoadManifest reads and decodes a federation manifest file.
+var LoadManifest = federation.LoadManifest
+
+// NewGateway builds a stopped gateway over a manifest; Start begins
+// health probing and takeover, Handler serves the federated API.
+var NewGateway = federation.NewGateway
+
+// NewMemberRouter builds the Router for one manifest member: its local
+// shards are the member's residue classes of the global shard space.
+var NewMemberRouter = federation.NewMemberRouter
+
+// NewMemberHandler mounts the /v1 service surface plus the journal
+// takeover endpoint (POST /v1/federation/adopt) on a member's router.
+var NewMemberHandler = federation.NewMemberHandler

@@ -1,0 +1,545 @@
+package federation
+
+// The gateway is the federation's single front door, and it is
+// deliberately stateless: every answer is computed from the static
+// manifest plus live member responses, so gateways can be restarted or
+// replicated freely. Routing needs no tables — job N lives with the
+// member owning residue (N-1) mod P unless a takeover moved it, and
+// then the live-member scan finds it — and the merged views (/v1/*,
+// /metrics) are concatenations or sums of member answers, valid because
+// members label everything by GLOBAL shard residue.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dollymp/internal/service"
+)
+
+// Gateway defaults.
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+	// DefaultFailThreshold is how many consecutive probe transport
+	// failures declare a member dead. Any HTTP response — even a 503
+	// from a draining member — counts as alive: drain is not death, and
+	// adopting a draining member's journal would run its jobs twice.
+	DefaultFailThreshold = 3
+	defaultClientTimeout = 30 * time.Second
+)
+
+// GatewayConfig configures a Gateway.
+type GatewayConfig struct {
+	Manifest Manifest
+	// ProbeInterval, ProbeTimeout, FailThreshold tune death detection;
+	// zero values take the defaults above.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	FailThreshold int
+	// ClientTimeout bounds proxied member requests; 0 means 30s.
+	ClientTimeout time.Duration
+}
+
+// memberState is the gateway's view of one member. Guarded by g.mu.
+type memberState struct {
+	Member
+	alive     bool
+	fails     int
+	adopted   bool   // this death's journal has been absorbed
+	adoptedBy string // surviving member that absorbed it
+	lastErr   string
+}
+
+// Gateway fronts the federation: it proxies and merges the /v1 surface
+// over the members, probes their health, and drives journal takeover
+// when one dies. Build with NewGateway, serve Handler, Start the
+// prober, Stop to halt it.
+type Gateway struct {
+	cfg    GatewayConfig
+	client *http.Client // proxied requests
+	probeC *http.Client // health probes (short timeout)
+
+	mu      sync.Mutex
+	members []*memberState
+	rr      int // round-robin submit cursor
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+}
+
+// NewGateway validates the manifest (URLs required) and builds a
+// stopped gateway; call Start to launch the prober.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if err := cfg.Manifest.Validate(true); err != nil {
+		return nil, err
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.ClientTimeout <= 0 {
+		cfg.ClientTimeout = defaultClientTimeout
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.ClientTimeout},
+		probeC: &http.Client{Timeout: cfg.ProbeTimeout},
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	for _, mb := range cfg.Manifest.Members {
+		g.members = append(g.members, &memberState{Member: mb, alive: true})
+	}
+	return g, nil
+}
+
+// Start launches the prober goroutine. Idempotent.
+func (g *Gateway) Start() {
+	g.startOnce.Do(func() { go g.probeLoop() })
+}
+
+// Stop halts the prober (the HTTP handler keeps working statelessly).
+func (g *Gateway) Stop() {
+	g.stopOnce.Do(func() { close(g.stopCh) })
+	<-g.doneCh
+}
+
+// aliveMembers snapshots the live member list, rotated so successive
+// calls start at successive members (round-robin for submissions).
+func (g *Gateway) aliveMembers(rotate bool) []*memberState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.members)
+	start := 0
+	if rotate {
+		start = g.rr % n
+		g.rr++
+	}
+	out := make([]*memberState, 0, n)
+	for i := 0; i < n; i++ {
+		m := g.members[(start+i)%n]
+		if m.alive {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// memberForResidue returns the member owning a global residue class.
+func (g *Gateway) memberForResidue(res int) *memberState {
+	i := g.cfg.Manifest.OwnerOf(res)
+	if i < 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members[i]
+}
+
+// Handler returns the gateway's HTTP surface: the member /v1 routes
+// proxied or federated, plus GET /v1/federation for membership state.
+// service.MuxFor gives it the members' envelope 404/405 treatment, so
+// clients see one error surface on both sides of the gateway.
+func (g *Gateway) Handler() http.Handler {
+	return service.MuxFor([]service.Route{
+		{Method: "POST", Pattern: "/v1/jobs", Handler: g.submit},
+		{Method: "GET", Pattern: "/v1/jobs", Handler: g.listJobs},
+		{Method: "GET", Pattern: "/v1/jobs/{id}", Handler: g.job},
+		{Method: "GET", Pattern: "/v1/shards", Handler: g.shards},
+		{Method: "GET", Pattern: "/v1/cluster", Handler: g.cluster},
+		{Method: "GET", Pattern: "/v1/status", Handler: g.cluster},
+		{Method: "GET", Pattern: "/v1/federation", Handler: g.federation},
+		{Method: "GET", Pattern: "/healthz", Handler: g.health},
+		{Method: "GET", Pattern: "/readyz", Handler: g.ready},
+		{Method: "GET", Pattern: "/metrics", Handler: g.metrics},
+	})
+}
+
+// passThrough copies a member response to the client verbatim.
+func passThrough(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// submit forwards POST /v1/jobs to a live member, round-robin, falling
+// through transport failures to the next: a dying member never turns
+// into a client-visible error while any member still answers. When a
+// member answered anything at all — 202, 429, 400 — that answer is
+// final: retrying elsewhere could accept the same batch twice.
+func (g *Gateway) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
+	if err != nil {
+		service.WriteError(w, http.StatusBadRequest, service.CodeInvalidArgument, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	live := g.aliveMembers(true)
+	for _, m := range live {
+		resp, err := g.client.Post(m.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue // transport failure: the prober will notice; try a sibling
+		}
+		passThrough(w, resp)
+		return
+	}
+	service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable,
+		fmt.Sprintf("no live member reachable (%d in manifest)", len(g.cfg.Manifest.Members)))
+}
+
+// job routes GET /v1/jobs/{id} by residue-class arithmetic: the owner
+// of ID n is the member owning residue (n-1) mod P. A takeover moves
+// jobs off their residue class, so a miss (or a dead owner) falls back
+// to scanning the other live members.
+func (g *Gateway) job(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil || id < 1 {
+		service.WriteError(w, http.StatusBadRequest, service.CodeInvalidArgument,
+			fmt.Sprintf("bad job id %q", r.PathValue("id")))
+		return
+	}
+	res := (int(id) - 1) % g.cfg.Manifest.Shards
+	owner := g.memberForResidue(res)
+	tried := map[string]bool{}
+	if owner != nil && owner.alive {
+		tried[owner.Name] = true
+		if resp, err := g.client.Get(owner.URL + "/v1/jobs/" + strconv.FormatInt(id, 10)); err == nil {
+			if resp.StatusCode == http.StatusOK {
+				passThrough(w, resp)
+				return
+			}
+			resp.Body.Close()
+		}
+	}
+	for _, m := range g.aliveMembers(false) {
+		if tried[m.Name] {
+			continue
+		}
+		resp, err := g.client.Get(m.URL + "/v1/jobs/" + strconv.FormatInt(id, 10))
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			passThrough(w, resp)
+			return
+		}
+		resp.Body.Close()
+	}
+	service.WriteError(w, http.StatusNotFound, service.CodeNotFound, fmt.Sprintf("no job %d", id))
+}
+
+// relayed is a member's own non-200 answer, kept so the gateway can
+// pass it through verbatim when no member produced data — a bad query
+// gets the member's 400 envelope, not a bogus 502.
+type relayed struct {
+	status int
+	body   []byte
+}
+
+func (rl *relayed) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rl.status)
+	_, _ = w.Write(rl.body)
+}
+
+// fanOut GETs path on every live member and hands each successful
+// response body to collect. Returns how many members answered 200 and,
+// when any member answered with an error status, the first such reply.
+func (g *Gateway) fanOut(path string, collect func(m *memberState, body []byte) error) (int, *relayed, error) {
+	n := 0
+	var rl *relayed
+	for _, m := range g.aliveMembers(false) {
+		resp, err := g.client.Get(m.URL + path)
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			if rl == nil {
+				rl = &relayed{status: resp.StatusCode, body: body}
+			}
+			continue
+		}
+		if err := collect(m, body); err != nil {
+			return n, rl, fmt.Errorf("federation: %s from %s: %w", path, m.Name, err)
+		}
+		n++
+	}
+	return n, rl, nil
+}
+
+// listJobs federates GET /v1/jobs: the same filter is forwarded to
+// every live member and the pages are concatenated in ID order. The
+// returned total is the federation-wide match count; limit/offset are
+// applied per member, so a page can hold up to members×limit records —
+// the listing is a debugging surface, not a pagination contract.
+func (g *Gateway) listJobs(w http.ResponseWriter, r *http.Request) {
+	type page struct {
+		Jobs   []service.JobInfo `json:"jobs"`
+		Total  int               `json:"total"`
+		Offset int               `json:"offset"`
+		Limit  int               `json:"limit"`
+	}
+	var merged page
+	q := ""
+	if r.URL.RawQuery != "" {
+		q = "?" + r.URL.RawQuery
+	}
+	n, rl, err := g.fanOut("/v1/jobs"+q, func(_ *memberState, body []byte) error {
+		var p page
+		if err := json.Unmarshal(body, &p); err != nil {
+			return err
+		}
+		merged.Jobs = append(merged.Jobs, p.Jobs...)
+		merged.Total += p.Total
+		merged.Limit = p.Limit
+		return nil
+	})
+	if err != nil {
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, err.Error())
+		return
+	}
+	if n == 0 {
+		if rl != nil {
+			rl.write(w)
+			return
+		}
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, "no live member reachable")
+		return
+	}
+	if merged.Jobs == nil {
+		merged.Jobs = []service.JobInfo{}
+	}
+	sort.Slice(merged.Jobs, func(i, j int) bool { return merged.Jobs[i].ID < merged.Jobs[j].ID })
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// shards federates GET /v1/shards: rows are stamped with GLOBAL residue
+// indices by the members, so concatenating and sorting yields the whole
+// deployment's table. Shards owned by a dead member are simply absent.
+func (g *Gateway) shards(w http.ResponseWriter, r *http.Request) {
+	var rows []service.ShardStatus
+	n, rl, err := g.fanOut("/v1/shards", func(_ *memberState, body []byte) error {
+		var p struct {
+			Shards []service.ShardStatus `json:"shards"`
+		}
+		if err := json.Unmarshal(body, &p); err != nil {
+			return err
+		}
+		rows = append(rows, p.Shards...)
+		return nil
+	})
+	if err != nil {
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, err.Error())
+		return
+	}
+	if n == 0 {
+		if rl != nil {
+			rl.write(w)
+			return
+		}
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, "no live member reachable")
+		return
+	}
+	if rows == nil {
+		rows = []service.ShardStatus{}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Shard < rows[j].Shard })
+	writeJSON(w, http.StatusOK, map[string][]service.ShardStatus{"shards": rows})
+}
+
+// cluster federates GET /v1/cluster (and its /v1/status alias): counts
+// and queue depths sum, the clock is the frontier max, utilization is
+// recomputed over the union of servers, and journal status aggregates.
+func (g *Gateway) cluster(w http.ResponseWriter, r *http.Request) {
+	agg := service.ClusterSnapshot{Shards: g.cfg.Manifest.Shards}
+	var usedCPU, usedMem, capCPU, capMem int64
+	n, rl, err := g.fanOut("/v1/cluster", func(_ *memberState, body []byte) error {
+		var snap service.ClusterSnapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return err
+		}
+		if agg.Scheduler == "" {
+			agg.Scheduler = snap.Scheduler
+		}
+		if snap.Clock > agg.Clock {
+			agg.Clock = snap.Clock
+		}
+		agg.ActiveJobs += snap.ActiveJobs
+		agg.PendingArrival += snap.PendingArrival
+		agg.QueueDepth += snap.QueueDepth
+		agg.Draining = agg.Draining || snap.Draining
+		agg.Jobs.Add(snap.Jobs)
+		if snap.Journal != nil {
+			if agg.Journal == nil {
+				agg.Journal = &service.JournalStatus{}
+			}
+			agg.Journal.Add(*snap.Journal)
+		}
+		for _, srv := range snap.Servers {
+			usedCPU += srv.UsedCPU
+			usedMem += srv.UsedMem
+			capCPU += srv.CPUMilli
+			capMem += srv.MemMiB
+		}
+		agg.Servers = append(agg.Servers, snap.Servers...)
+		return nil
+	})
+	if err != nil {
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, err.Error())
+		return
+	}
+	if n == 0 {
+		if rl != nil {
+			rl.write(w)
+			return
+		}
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, "no live member reachable")
+		return
+	}
+	if capCPU > 0 {
+		agg.UtilizationCPU = float64(usedCPU) / float64(capCPU)
+	}
+	if capMem > 0 {
+		agg.UtilizationMem = float64(usedMem) / float64(capMem)
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// MemberStatus is one row of GET /v1/federation.
+type MemberStatus struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	JournalDir string `json:"journal_dir"`
+	Residues   []int  `json:"residues"`
+	Alive      bool   `json:"alive"`
+	Fails      int    `json:"consecutive_failures"`
+	AdoptedBy  string `json:"adopted_by,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// federation reports the gateway's membership view.
+func (g *Gateway) federation(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	out := struct {
+		Shards  int            `json:"shards"`
+		Members []MemberStatus `json:"members"`
+	}{Shards: g.cfg.Manifest.Shards}
+	for _, m := range g.members {
+		out.Members = append(out.Members, MemberStatus{
+			Name: m.Name, URL: m.URL, JournalDir: m.JournalDir, Residues: m.Residues,
+			Alive: m.alive, Fails: m.fails, AdoptedBy: m.adoptedBy, LastError: m.lastErr,
+		})
+	}
+	g.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// health: the gateway is healthy while it can route anywhere.
+func (g *Gateway) health(w http.ResponseWriter, r *http.Request) {
+	alive := len(g.aliveMembers(false))
+	if alive == 0 {
+		service.WriteError(w, http.StatusServiceUnavailable, service.CodeUnavailable, "no live members")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "members": len(g.cfg.Manifest.Members), "alive": alive,
+	})
+}
+
+// ready: the gateway is ready when every member it still considers
+// alive answers /readyz 200 (dead members are the takeover path's
+// problem, not readiness's) — and at least one member is serving.
+func (g *Gateway) ready(w http.ResponseWriter, r *http.Request) {
+	live := g.aliveMembers(false)
+	ready := 0
+	for _, m := range live {
+		resp, err := g.probeC.Get(m.URL + "/readyz")
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			ready++
+		}
+		resp.Body.Close()
+	}
+	if ready == 0 || ready < len(live) {
+		service.WriteError(w, http.StatusServiceUnavailable, service.CodeNotReady,
+			fmt.Sprintf("%d of %d live members ready", ready, len(live)))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metrics merges the members' Prometheus expositions at the text level:
+// every member labels its series by GLOBAL shard residue, so the series
+// sets are disjoint and the only conflict is the per-family HELP/TYPE
+// header lines, which are deduplicated (first member wins). The strict
+// exposition rules — TYPE before any of its samples, one TYPE per
+// family — survive because each family's first appearance carries its
+// header and later samples of a seen family need none.
+func (g *Gateway) metrics(w http.ResponseWriter, r *http.Request) {
+	var out bytes.Buffer
+	seen := map[string]bool{}
+	n, rl, err := g.fanOut("/metrics", func(_ *memberState, body []byte) error {
+		for _, line := range bytes.Split(body, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			if bytes.HasPrefix(line, []byte("# ")) {
+				fields := bytes.Fields(line)
+				// "# HELP <family> ..." / "# TYPE <family> <kind>"
+				if len(fields) >= 3 && (string(fields[1]) == "HELP" || string(fields[1]) == "TYPE") {
+					key := string(fields[1]) + " " + string(fields[2])
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+				}
+			}
+			out.Write(line)
+			out.WriteByte('\n')
+		}
+		return nil
+	})
+	if err != nil {
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, err.Error())
+		return
+	}
+	if n == 0 {
+		if rl != nil {
+			rl.write(w)
+			return
+		}
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, "no live member reachable")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(out.Bytes())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,131 @@
+// Package federation runs the sharded scheduling daemon as N member
+// processes behind one stateless gateway. The global job-ID space of P
+// shards is carved across the members by residue class — each member is
+// a shard.Router owning a disjoint subset of the residues — so the
+// gateway routes a job lookup by pure ID arithmetic and merges
+// cluster-wide views by concatenation, with no coordination state of
+// its own. A static membership manifest (JSON) names every member, its
+// base URL, its residue classes, and its journal directory; when the
+// gateway's prober declares a member dead, a surviving member adopts
+// the dead member's journal directory (shard.Router.Adopt) so every
+// accepted job outlives any single process.
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Member is one daemon process in the federation.
+type Member struct {
+	// Name identifies the member (dollympd -member NAME).
+	Name string `json:"name"`
+	// URL is the member's base URL (http://host:port). Optional in
+	// member mode — a member only needs its own dir and residues — but
+	// required by the gateway.
+	URL string `json:"url,omitempty"`
+	// JournalDir is the member's journal directory. Takeover requires
+	// every member to reach every other member's directory (shared or
+	// local filesystem).
+	JournalDir string `json:"journal_dir"`
+	// Residues are the global shard residue classes this member owns.
+	Residues []int `json:"residues"`
+}
+
+// Manifest is the static membership map: P global shards split across
+// the members' residue classes.
+type Manifest struct {
+	// Shards is the global shard count P.
+	Shards int `json:"shards"`
+	// Members partition [0..Shards) by their residue classes.
+	Members []Member `json:"members"`
+}
+
+// LoadManifest reads and decodes a manifest file (strict JSON).
+func LoadManifest(path string) (Manifest, error) {
+	var m Manifest
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return m, fmt.Errorf("federation: manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("federation: manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's geometry: at least one member, unique
+// names and journal dirs, and residue classes that are disjoint and
+// cover [0..Shards) exactly. requireURLs additionally demands a base
+// URL per member (the gateway cannot route without them; a member
+// validating its own slice can).
+func (m Manifest) Validate(requireURLs bool) error {
+	if m.Shards < 1 {
+		return fmt.Errorf("federation: %d shards < 1", m.Shards)
+	}
+	if len(m.Members) < 1 {
+		return fmt.Errorf("federation: no members")
+	}
+	names := make(map[string]bool, len(m.Members))
+	dirs := make(map[string]bool, len(m.Members))
+	owner := make(map[int]string, m.Shards)
+	for _, mb := range m.Members {
+		if mb.Name == "" {
+			return fmt.Errorf("federation: member without a name")
+		}
+		if names[mb.Name] {
+			return fmt.Errorf("federation: duplicate member %q", mb.Name)
+		}
+		names[mb.Name] = true
+		if mb.JournalDir == "" {
+			return fmt.Errorf("federation: member %q without a journal dir", mb.Name)
+		}
+		if dirs[mb.JournalDir] {
+			return fmt.Errorf("federation: journal dir %q shared by two members", mb.JournalDir)
+		}
+		dirs[mb.JournalDir] = true
+		if requireURLs && mb.URL == "" {
+			return fmt.Errorf("federation: member %q without a URL", mb.Name)
+		}
+		if len(mb.Residues) == 0 {
+			return fmt.Errorf("federation: member %q owns no residues", mb.Name)
+		}
+		for _, res := range mb.Residues {
+			if res < 0 || res >= m.Shards {
+				return fmt.Errorf("federation: member %q residue %d outside [0, %d)", mb.Name, res, m.Shards)
+			}
+			if by, taken := owner[res]; taken {
+				return fmt.Errorf("federation: residue %d owned by both %q and %q", res, by, mb.Name)
+			}
+			owner[res] = mb.Name
+		}
+	}
+	if len(owner) != m.Shards {
+		return fmt.Errorf("federation: %d of %d residues owned (manifest must cover every shard)", len(owner), m.Shards)
+	}
+	return nil
+}
+
+// MemberByName returns the named member's manifest entry.
+func (m Manifest) MemberByName(name string) (Member, error) {
+	for _, mb := range m.Members {
+		if mb.Name == name {
+			return mb, nil
+		}
+	}
+	return Member{}, fmt.Errorf("federation: no member %q in manifest", name)
+}
+
+// OwnerOf returns the index in Members of the member owning the given
+// global residue class, or -1.
+func (m Manifest) OwnerOf(residue int) int {
+	for i, mb := range m.Members {
+		for _, res := range mb.Residues {
+			if res == residue {
+				return i
+			}
+		}
+	}
+	return -1
+}

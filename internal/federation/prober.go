@@ -1,0 +1,142 @@
+package federation
+
+// Death detection and takeover. The prober is deliberately
+// conservative: only TRANSPORT failures (connection refused, timeout)
+// count toward death — any HTTP response, including a 503 from a
+// draining or failed member, proves a process is alive and its journal
+// leases held. Even when the threshold trips, the verdict is advisory:
+// the adopting member's kernel-checked flock is the real arbiter, and a
+// merely-partitioned member answers the adoption attempt with 409
+// conflict, which the gateway treats as "not dead after all".
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dollymp/internal/service"
+)
+
+// probeLoop drives death detection until Stop.
+func (g *Gateway) probeLoop() {
+	defer close(g.doneCh)
+	tk := time.NewTicker(g.cfg.ProbeInterval)
+	defer tk.Stop()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-tk.C:
+			g.probeOnce()
+		}
+	}
+}
+
+// probeOnce runs one health scan and at most one takeover attempt per
+// dead member. Exposed to tests for ticker-free driving.
+func (g *Gateway) probeOnce() {
+	type verdict struct {
+		m  *memberState
+		ok bool
+	}
+	verdicts := make([]verdict, 0, len(g.cfg.Manifest.Members))
+	g.mu.Lock()
+	members := append([]*memberState(nil), g.members...)
+	g.mu.Unlock()
+	for _, m := range members {
+		resp, err := g.probeC.Get(m.URL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+		}
+		verdicts = append(verdicts, verdict{m, err == nil})
+	}
+
+	var dead []*memberState
+	g.mu.Lock()
+	for _, v := range verdicts {
+		m := v.m
+		if v.ok {
+			m.fails = 0
+			if !m.alive {
+				// The member answered again: it restarted (its adopted
+				// journal dir starts fresh) or the partition healed.
+				m.alive = true
+				m.adopted = false
+				m.adoptedBy = ""
+				m.lastErr = ""
+			}
+			continue
+		}
+		m.fails++
+		if m.fails >= g.cfg.FailThreshold && m.alive {
+			m.alive = false
+		}
+		if !m.alive && !m.adopted {
+			dead = append(dead, m)
+		}
+	}
+	g.mu.Unlock()
+
+	for _, m := range dead {
+		g.takeover(m)
+	}
+}
+
+// takeover asks one surviving member to adopt a dead member's journal
+// directory. Failure (including 409 leased — the member is actually
+// alive) leaves the member marked unadopted, so the next probe round
+// retries; success records the adoption so replay happens exactly once
+// per death.
+func (g *Gateway) takeover(dead *memberState) {
+	survivor := g.pickSurvivor(dead)
+	if survivor == nil {
+		g.noteTakeover(dead, "", fmt.Sprintf("no surviving member to adopt %s", dead.Name), false)
+		return
+	}
+	body, _ := json.Marshal(AdoptRequest{Dir: dead.JournalDir})
+	resp, err := g.client.Post(survivor.URL+"/v1/federation/adopt", "application/json", bytes.NewReader(body))
+	if err != nil {
+		g.noteTakeover(dead, "", fmt.Sprintf("adopt via %s: %v", survivor.Name, err), false)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		// The kernel says the "dead" member still holds its leases: the
+		// gateway is partitioned from it, not the filesystem. Do not
+		// adopt; keep probing.
+		g.noteTakeover(dead, "", fmt.Sprintf("adopt refused: %s still holds its journal lease", dead.Name), false)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er service.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		g.noteTakeover(dead, "", fmt.Sprintf("adopt via %s: %d %s", survivor.Name, resp.StatusCode, er.Error.Message), false)
+		return
+	}
+	g.noteTakeover(dead, survivor.Name, "", true)
+}
+
+// pickSurvivor chooses the adopting member: the first live one. The
+// manifest order is the succession order — deterministic, so concurrent
+// gateways would pick the same survivor and the member-side adoptMu
+// plus segment retirement make the duplicate attempt a no-op.
+func (g *Gateway) pickSurvivor(dead *memberState) *memberState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m.alive && m.Name != dead.Name {
+			return m
+		}
+	}
+	return nil
+}
+
+func (g *Gateway) noteTakeover(dead *memberState, by, errMsg string, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dead.adopted = ok
+	dead.adoptedBy = by
+	dead.lastErr = errMsg
+}

@@ -73,6 +73,19 @@ const (
 
 var magic = [8]byte{'d', 'o', 'l', 'l', 'y', 'j', 'n', 'l'}
 
+// ErrLeased is returned when a segment is still held by a live writer:
+// Open refuses to take over an append lease another process owns, and
+// AdoptSegment refuses to replay a segment whose owner has not actually
+// died. The lease is an advisory flock on the segment file, so the
+// kernel releases it the instant the owner exits — even by SIGKILL —
+// and a retry after the owner's death succeeds.
+var ErrLeased = errors.New("journal: segment leased by a live writer")
+
+// LeaseSupported reports whether segment leases are real on this
+// platform (flock) or advisory-by-convention stubs. Tests that prove
+// lease refusal skip themselves where there is nothing to refuse with.
+func LeaseSupported() bool { return flockSupported }
+
 const headerLen = len(magic) + 4
 
 // Op names a journaled lifecycle transition.
@@ -188,6 +201,16 @@ func Open(path string) (*Journal, *Replay, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
+	// Take the writer lease before reading a byte: two live processes
+	// appending to one segment would interleave frames and corrupt the
+	// log, so the second opener is refused while the first is alive.
+	if err := lockExclusive(f.Fd()); err != nil {
+		f.Close()
+		if leaseHeld(err) {
+			return nil, nil, fmt.Errorf("journal: open %s: %w", path, ErrLeased)
+		}
+		return nil, nil, fmt.Errorf("journal: lease %s: %w", path, err)
+	}
 	rep, good, err := scan(f, path)
 	if err != nil {
 		f.Close()
@@ -221,6 +244,30 @@ func ReplayFile(path string) (*Replay, error) {
 		return nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
 	defer f.Close()
+	rep, _, err := scan(f, path)
+	return rep, err
+}
+
+// AdoptSegment replays a dead member's segment for takeover. It differs
+// from ReplayFile in exactly one way: it first takes a shared lease on
+// the file, which the kernel refuses while the owning process is still
+// alive and holding the exclusive writer lease — so a federation can
+// never replay (and re-run) the jobs of a member that is merely slow.
+// A held lease returns an error wrapping ErrLeased; the caller retries
+// after the owner actually dies. The torn tail, if any, is reported but
+// left on disk — adoption never rewrites the dead member's file.
+func AdoptSegment(path string) (*Replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := lockShared(f.Fd()); err != nil {
+		if leaseHeld(err) {
+			return nil, fmt.Errorf("journal: adopt %s: %w", path, ErrLeased)
+		}
+		return nil, fmt.Errorf("journal: adopt %s: %w", path, err)
+	}
 	rep, _, err := scan(f, path)
 	return rep, err
 }
@@ -480,6 +527,28 @@ func (j *Journal) Sync() error {
 		return nil
 	}
 	return j.Commit(seq)
+}
+
+// Crash simulates the owner dying: the file is closed immediately —
+// releasing the lease, exactly as process death would — WITHOUT
+// flushing the append buffer, so records not yet covered by a Commit
+// are lost the way a SIGKILL loses them. Further appends fail. Crash
+// exists for tests and in-process failure injection; production code
+// paths use Close.
+func (j *Journal) Crash() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	j.buf = nil
+	if j.err == nil {
+		j.err = errors.New("journal: crashed")
+	}
+	err := j.f.Close()
+	j.synced.Broadcast()
+	return err
 }
 
 // Close flushes, fsyncs, and closes the file. Further appends fail.

@@ -121,10 +121,13 @@ func TestJournalTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 		j2.Close()
-		_, rep2 := openT(t, path)
+		j3, rep2 := openT(t, path)
 		if rep2.Records != 2 || rep2.Jobs[0].Outcome != OutcomeCompleted {
 			t.Fatalf("cut at %d: after repair+append: %+v", at, rep2)
 		}
+		// Release the lease: the next iteration rewrites this inode, and
+		// a leaked descriptor would refuse the reopen as a live writer.
+		j3.Close()
 	}
 }
 

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package journal
+
+// On platforms without flock the lease degrades to advisory-by-
+// convention: Open and AdoptSegment succeed unconditionally, and the
+// deployment relies on the membership manifest alone to keep two
+// members off one segment.
+const flockSupported = false
+
+func lockExclusive(fd uintptr) error { return nil }
+
+func lockShared(fd uintptr) error { return nil }
+
+func leaseHeld(err error) bool { return false }

@@ -1,0 +1,112 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dollymp/internal/workload"
+)
+
+func leaseJob(id workload.JobID) Record {
+	return Record{Op: OpSubmitted, ID: id, Job: &workload.Job{
+		Name: "t", App: "test",
+		Phases: []workload.Phase{{Name: "p", Tasks: 1, MeanDuration: 1}},
+	}}
+}
+
+// TestAdoptRefusesLiveLease: a segment with a live writer cannot be
+// adopted — under -race, with appends in flight while the adoption is
+// attempted, proving the refusal is not a timing accident.
+func TestAdoptRefusesLiveLease(t *testing.T) {
+	if !flockSupported {
+		t.Skip("no flock on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One committed record before the concurrent phase, so the final
+	// adoption has something to replay even if the appender goroutine
+	// never gets scheduled.
+	if seq, err := j.Append(leaseJob(1)); err != nil {
+		t.Fatal(err)
+	} else if err := j.Commit(seq); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := workload.JobID(2); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := j.Append(leaseJob(i)); err != nil {
+				return
+			}
+			_ = j.Sync()
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if _, err := AdoptSegment(path); !errors.Is(err, ErrLeased) {
+			t.Fatalf("adoption of a live segment got err %v, want ErrLeased", err)
+		}
+	}
+	// A second writer is refused just like an adopter.
+	if _, _, err := Open(path); !errors.Is(err, ErrLeased) {
+		t.Fatalf("second Open of a live segment got err %v, want ErrLeased", err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Owner gone: the lease is released and adoption replays the log.
+	rep, err := AdoptSegment(path)
+	if err != nil {
+		t.Fatalf("adoption after close: %v", err)
+	}
+	if len(rep.Jobs) == 0 {
+		t.Fatal("adoption replayed no jobs")
+	}
+}
+
+// TestCrashReleasesLeaseAndDropsBuffer: Crash must release the lease
+// (so a successor can adopt) and must NOT flush buffered records —
+// only committed ones survive, the way a real SIGKILL behaves.
+func TestCrashReleasesLeaseAndDropsBuffer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.Append(leaseJob(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(leaseJob(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(leaseJob(3)); err == nil {
+		t.Fatal("append after Crash succeeded")
+	}
+	rep, err := AdoptSegment(path)
+	if err != nil {
+		t.Fatalf("adoption after crash: %v", err)
+	}
+	if len(rep.Jobs) != 1 || rep.Jobs[0].ID != 1 {
+		t.Fatalf("crash flushed uncommitted records: %+v", rep.Jobs)
+	}
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package journal
+
+import "syscall"
+
+// flockSupported reports whether segment leases are enforced by the
+// operating system on this platform.
+const flockSupported = true
+
+// lockExclusive takes the writer lease on an open segment: an advisory
+// exclusive flock, non-blocking. The kernel releases it when the last
+// descriptor closes — including on SIGKILL — which is exactly the
+// "live writer" semantics adoption needs: a lease outlives a hung
+// process but never a dead one.
+func lockExclusive(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// lockShared takes a reader lease (adoption replay): it succeeds
+// alongside other readers but is refused while a live writer holds the
+// exclusive lease.
+func lockShared(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_SH|syscall.LOCK_NB)
+}
+
+// leaseHeld reports whether err means "another process holds the lock".
+func leaseHeld(err error) bool {
+	return err == syscall.EWOULDBLOCK || err == syscall.EAGAIN
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"dollymp/internal/trace"
 	"dollymp/internal/workload"
@@ -26,13 +27,26 @@ import (
 const MaxBodyBytes = 16 << 20
 
 // Error codes carried in the error envelope. Clients must treat unknown
-// codes as non-retryable; CodeQueueFull is the only retryable code.
+// codes as non-retryable; CodeQueueFull and CodeUnavailable are the
+// only retryable codes.
 const (
-	CodeInvalidArgument = "invalid_argument"
-	CodeNotFound        = "not_found"
-	CodeQueueFull       = "queue_full"
-	CodeDraining        = "draining"
-	CodeInternal        = "internal"
+	CodeInvalidArgument  = "invalid_argument"
+	CodeNotFound         = "not_found"
+	CodeQueueFull        = "queue_full"
+	CodeDraining         = "draining"
+	CodeInternal         = "internal"
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotReady: the daemon is up but not yet serving (journal
+	// replay in progress, scheduling loops not started) — /readyz only.
+	CodeNotReady = "not_ready"
+	// CodeUnavailable: a federation gateway could not reach the member
+	// that owns the request (502). Retryable — the gateway re-routes
+	// around dead members and a takeover re-homes their shards.
+	CodeUnavailable = "unavailable"
+	// CodeConflict: the request lost to a concurrent owner — e.g. an
+	// adoption attempt against a journal segment still leased by a
+	// live writer (409).
+	CodeConflict = "conflict"
 )
 
 // APIError is the machine-readable error payload inside the envelope.
@@ -69,6 +83,10 @@ type API interface {
 	Shards() []ShardStatus
 	// Draining reports whether a drain has begun anywhere.
 	Draining() bool
+	// Ready reports whether the deployment is fully serving: journal
+	// replay finished and every scheduling loop started, with no drain
+	// begun and no terminal error. /readyz serves 503 until it is true.
+	Ready() bool
 	// Err returns the first terminal scheduling-loop error, if any.
 	Err() error
 	// WriteMetrics renders the Prometheus exposition.
@@ -94,7 +112,9 @@ type Route struct {
 //	GET  /v1/jobs/{id} one job's lifecycle record
 //	GET  /v1/shards    per-shard queue/clock/accounting status
 //	GET  /v1/cluster   aggregated cluster + queue snapshot
+//	GET  /v1/status    alias of /v1/cluster (federated by the gateway)
 //	GET  /healthz      liveness (503 once draining or failed)
+//	GET  /readyz       readiness (503 until replay done and loops up)
 //	GET  /metrics      Prometheus text exposition
 func Routes(api API) []Route {
 	h := handler{api}
@@ -104,20 +124,50 @@ func Routes(api API) []Route {
 		{"GET", "/v1/jobs/{id}", h.job},
 		{"GET", "/v1/shards", h.shards},
 		{"GET", "/v1/cluster", h.cluster},
+		{"GET", "/v1/status", h.cluster},
 		{"GET", "/healthz", h.health},
+		{"GET", "/readyz", h.ready},
 		{"GET", "/metrics", h.metrics},
 	}
 }
 
 // NewHandler builds the HTTP handler for any API implementation from
-// the route table, with an envelope-shaped 404 for unknown paths.
-func NewHandler(api API) http.Handler {
+// the route table (plus any extra routes — the federation member mounts
+// its adoption endpoint this way), with an envelope-shaped 404 for
+// unknown paths and an envelope-shaped 405 (with an Allow header) for
+// known paths hit with the wrong method.
+func NewHandler(api API, extra ...Route) http.Handler {
+	return MuxFor(append(Routes(api), extra...))
+}
+
+// MuxFor builds a mux from an explicit route table with the uniform
+// error treatment: envelope 404 on unknown paths, envelope 405 with an
+// Allow header when a known path is hit with an unregistered method.
+// The federation gateway serves its own route table through it so both
+// sides of the deployment fail identically.
+func MuxFor(routes []Route) http.Handler {
 	mux := http.NewServeMux()
-	for _, r := range Routes(api) {
+	byPath := make(map[string][]string)
+	var paths []string
+	for _, r := range routes {
 		mux.HandleFunc(r.Method+" "+r.Pattern, r.Handler)
+		if _, seen := byPath[r.Pattern]; !seen {
+			paths = append(paths, r.Pattern)
+		}
+		byPath[r.Pattern] = append(byPath[r.Pattern], r.Method)
+	}
+	for _, pattern := range paths {
+		// The method-less registration is only reachable by methods no
+		// method-qualified pattern on the same path claims.
+		allow := strings.Join(byPath[pattern], ", ")
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			WriteError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow))
+		})
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, CodeNotFound,
+		WriteError(w, http.StatusNotFound, CodeNotFound,
 			fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
 	})
 	return mux
@@ -158,8 +208,15 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string) {
+// WriteError writes the uniform error envelope. Exported so the
+// federation gateway emits byte-identical envelopes for its own errors
+// (502 unavailable, 409 conflict) without duplicating the shape.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: APIError{Code: code, Message: msg}})
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	WriteError(w, status, code, msg)
 }
 
 type handler struct{ api API }
@@ -281,6 +338,24 @@ func (h handler) health(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.api.Draining() {
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h handler) ready(w http.ResponseWriter, r *http.Request) {
+	if err := h.api.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeInternal, fmt.Sprintf("scheduling loop failed: %v", err))
+		return
+	}
+	if h.api.Draining() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	if !h.api.Ready() {
+		// Alive but not serving yet: journal replay or takeover absorption
+		// still running, scheduling loops not started.
+		writeError(w, http.StatusServiceUnavailable, CodeNotReady, "not ready")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

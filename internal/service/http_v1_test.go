@@ -45,14 +45,17 @@ func TestHTTPErrorEnvelopeShape(t *testing.T) {
 	// Unknown paths hit the catch-all envelope.
 	decodeEnvelope(t, get("/v2/nope"), http.StatusNotFound, CodeNotFound)
 	decodeEnvelope(t, get("/"), http.StatusNotFound, CodeNotFound)
-	// A known path with an unhandled method falls through to the
-	// method-less catch-all: still an envelope, still machine-readable.
+	// A known path with an unhandled method is an envelope-shaped 405
+	// carrying the allowed methods — not the mux's plain-text fallback.
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs", nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	decodeEnvelope(t, resp, http.StatusNotFound, CodeNotFound)
+	if allow := resp.Header.Get("Allow"); allow == "" {
+		t.Fatal("405 without an Allow header")
+	}
+	decodeEnvelope(t, resp, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 	// Missing job vs malformed ID distinguish not_found from
 	// invalid_argument.
 	decodeEnvelope(t, get("/v1/jobs/999999"), http.StatusNotFound, CodeNotFound)

@@ -42,15 +42,19 @@ func openJournalService(t *testing.T, path string, queueCap int) (*Service, *jou
 // replay must show every job completed exactly once.
 func TestServiceJournalReplayUnadmitted(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "seg.wal")
-	a, _, _ := openJournalService(t, path, 16)
+	a, jnlA, _ := openJournalService(t, path, 16)
 	for i := 0; i < 3; i++ {
 		// Loop never started: accepted, journaled, never admitted.
 		if _, err := a.SubmitNowait(testJob(1, 2)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Crash: no drain, no journal close. Submit already committed the
-	// `submitted` records, so they are durable.
+	// Crash: no drain, no flush — the fd (and its segment lease) dies
+	// with the process. Submit already committed the `submitted`
+	// records, so they are durable.
+	if err := jnlA.Crash(); err != nil {
+		t.Fatal(err)
+	}
 
 	b, jnl, rep := openJournalService(t, path, 16)
 	if len(rep.Jobs) != 3 {
@@ -106,8 +110,12 @@ func TestServiceJournalNoDuplicateCompleted(t *testing.T) {
 		}
 	}
 	stopDrained(t, a)
-	// The `completed` records' shared fsync happened before the crash.
+	// The `completed` records' shared fsync happened before the crash;
+	// the crash itself releases the segment lease without closing clean.
 	if err := jnlA.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnlA.Crash(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -461,13 +461,7 @@ func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, err
 		ID: id, Name: j.Name, App: j.App, State: StateQueued,
 		Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
 	}
-	// The job must be fully stamped and registered before it becomes
-	// visible on the channel: the loop may admit it immediately.
-	s.jobs[id] = info
-	select {
-	case s.subCh <- j: // buffered; never blocks under mu
-	default:
-		delete(s.jobs, id)
+	if len(s.subCh) == cap(s.subCh) {
 		s.nextID -= workload.JobID(s.cfg.IDStride)
 		if countReject {
 			// Counter and count move inside one critical section, so a
@@ -478,15 +472,24 @@ func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, err
 		s.mu.Unlock()
 		return 0, ErrQueueFull
 	}
-	s.counts.Submitted++
-	s.tasksOut += int64(info.Tasks)
-	s.mSubmitted.Inc()
+	// Journal (and so marshal) the spec BEFORE the job becomes visible on
+	// the channel: the send transfers ownership of j to the loop, which
+	// rewrites its arrival outside mu.
 	seq, jerr := s.journalLocked(journal.Record{Op: journal.OpSubmitted, ID: id, Job: j})
-	s.mu.Unlock()
 	if jerr != nil {
+		s.nextID -= workload.JobID(s.cfg.IDStride)
+		s.mu.Unlock()
 		s.fail(jerr)
 		return 0, jerr
 	}
+	// The job must be fully stamped and registered before it becomes
+	// visible on the channel: the loop may admit it immediately.
+	s.jobs[id] = info
+	s.subCh <- j // space checked above; every sender serializes on mu
+	s.counts.Submitted++
+	s.tasksOut += int64(info.Tasks)
+	s.mSubmitted.Inc()
+	s.mu.Unlock()
 	if s.cfg.Journal != nil {
 		// Group-commit outside the lock: the submission is acknowledged
 		// only once its record is on disk, and concurrent submitters
@@ -608,23 +611,22 @@ func (s *Service) InjectQueued(jobs []*workload.Job) int {
 			ID: j.ID, Name: j.Name, App: j.App, State: StateQueued,
 			Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
 		}
-		// Register before the send: the loop may admit immediately.
-		s.jobs[j.ID] = info
-		select {
-		case s.subCh <- j:
-			s.counts.Submitted++
-			s.tasksOut += int64(info.Tasks)
-			// The injected record carries the full spec so this shard's
-			// segment replays alone; durability rides the next fsync —
-			// replay dedupes against the donor's segment either way.
-			if _, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: j.ID, Job: j}); err != nil && jerr == nil {
-				jerr = err
-			}
-			n++
-		default:
-			delete(s.jobs, j.ID)
+		if len(s.subCh) == cap(s.subCh) {
 			return n
 		}
+		// The injected record carries the full spec so this shard's
+		// segment replays alone; durability rides the next fsync —
+		// replay dedupes against the donor's segment either way. Marshal
+		// before the send: the loop owns j once it is on the channel.
+		if _, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: j.ID, Job: j}); err != nil && jerr == nil {
+			jerr = err
+		}
+		// Register before the send: the loop may admit immediately.
+		s.jobs[j.ID] = info
+		s.subCh <- j // space checked above; every sender serializes on mu
+		s.counts.Submitted++
+		s.tasksOut += int64(info.Tasks)
+		n++
 	}
 	return n
 }
@@ -654,18 +656,17 @@ func (s *Service) ForceRequeue(jobs []*workload.Job) {
 			ID: j.ID, Name: j.Name, App: j.App, State: StateQueued,
 			Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
 		}
-		s.jobs[j.ID] = info
-		select {
-		case s.subCh <- j:
-			s.counts.Submitted++
-			s.tasksOut += int64(info.Tasks)
-			if _, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: j.ID, Job: j}); err != nil && jerr == nil {
-				jerr = err
-			}
-		default:
-			delete(s.jobs, j.ID)
+		if len(s.subCh) == cap(s.subCh) {
 			stranded = append(stranded, j.ID)
+			continue
 		}
+		if _, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: j.ID, Job: j}); err != nil && jerr == nil {
+			jerr = err
+		}
+		s.jobs[j.ID] = info
+		s.subCh <- j // space checked above; every sender serializes on mu
+		s.counts.Submitted++
+		s.tasksOut += int64(info.Tasks)
 	}
 	s.mu.Unlock()
 	if jerr != nil {
@@ -766,6 +767,135 @@ func (s *Service) Restore(jobs []*journal.ReplayJob, records, truncated int64) e
 	return nil
 }
 
+// Absorb is the runtime counterpart of Restore: it accepts jobs
+// replayed from a dead peer's adopted journal segments while this
+// service is live and scheduling. Completed jobs become lifecycle
+// history (counts and JCT observations included, so the deployment-wide
+// accounting survives the takeover); pending jobs are re-enqueued like
+// a fresh submission, keeping their IDs from the dead peer's residue
+// class. Everything absorbed is re-journaled into this service's own
+// segment — completed as `completed` records (with the spec as an
+// `injected` record when the replay preserved one), pending as
+// `injected` records — and committed before Absorb returns, so the
+// adopted segments can be retired: this journal now replays alone.
+//
+// Jobs already known to this service are skipped (a chained takeover
+// may replay work that migrated here earlier). The whole batch is
+// validated and capacity-checked first: if the pending subset does not
+// fit the free queue space, nothing is absorbed and the caller can
+// retry elsewhere — a half-adopted journal must not be retired.
+// Returns how many jobs were absorbed (skips excluded).
+func (s *Service) Absorb(jobs []*journal.ReplayJob) (int, error) {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return 0, ErrStopped
+	}
+	free := cap(s.subCh) - len(s.subCh)
+	need := 0
+	for _, rj := range jobs {
+		if rj.ID < 1 {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("service: absorb: invalid job id %d", rj.ID)
+		}
+		if s.jobs[rj.ID] != nil {
+			continue
+		}
+		if rj.Outcome != journal.OutcomeCompleted {
+			if rj.Job == nil {
+				s.mu.Unlock()
+				return 0, fmt.Errorf("service: absorb: pending job %d has no spec", rj.ID)
+			}
+			need++
+		}
+	}
+	if need > free {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("service: absorb: %d pending jobs exceed free queue space %d: %w", need, free, ErrQueueFull)
+	}
+	var seq uint64
+	absorbed, pending := 0, 0
+	for _, rj := range jobs {
+		if s.jobs[rj.ID] != nil {
+			continue
+		}
+		s.bumpNextID(rj.ID)
+		if rj.Outcome == journal.OutcomeCompleted {
+			info := &JobInfo{
+				ID: rj.ID, State: StateCompleted,
+				Arrival: rj.Finish - rj.Flowtime, FirstStart: -1,
+				Finish: rj.Finish, Flowtime: rj.Flowtime,
+			}
+			if rj.Job != nil {
+				info.Name, info.App, info.Tasks = rj.Job.Name, rj.Job.App, rj.Job.TotalTasks()
+			}
+			s.jobs[rj.ID] = info
+			s.counts.Submitted++
+			s.counts.Completed++
+			s.mSubmitted.Inc()
+			s.mCompleted.Inc()
+			s.mJCT.Observe(float64(rj.Flowtime))
+			if rj.Job != nil {
+				if sq, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: rj.ID, Job: rj.Job}); err != nil {
+					s.mu.Unlock()
+					s.fail(err)
+					return absorbed, err
+				} else if sq > seq {
+					seq = sq
+				}
+			}
+			if sq, err := s.journalLocked(journal.Record{Op: journal.OpCompleted, ID: rj.ID, Finish: rj.Finish, Flowtime: rj.Flowtime}); err != nil {
+				s.mu.Unlock()
+				s.fail(err)
+				return absorbed, err
+			} else if sq > seq {
+				seq = sq
+			}
+			absorbed++
+			continue
+		}
+		j := rj.Job
+		j.ID = rj.ID
+		j.Arrival = 0 // clamped to the live clock at injection
+		info := &JobInfo{
+			ID: rj.ID, Name: j.Name, App: j.App, State: StateQueued,
+			Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
+		}
+		// Marshal into the journal before the send: once j is on the
+		// channel the loop owns it and may rewrite its arrival.
+		if sq, err := s.journalLocked(journal.Record{Op: journal.OpInjected, ID: rj.ID, Job: j}); err != nil {
+			s.mu.Unlock()
+			s.fail(err)
+			return absorbed, err
+		} else if sq > seq {
+			seq = sq
+		}
+		s.jobs[rj.ID] = info
+		s.subCh <- j // pre-checked against free space; senders serialize on mu
+		s.counts.Submitted++
+		s.tasksOut += int64(info.Tasks)
+		s.mSubmitted.Inc()
+		absorbed++
+		pending++
+	}
+	s.jnlStat.ReplayedJobs += int64(absorbed)
+	s.jnlStat.ReplayedPending += int64(pending)
+	if s.mJnlReplayed != nil {
+		s.mJnlReplayed.Set(float64(s.jnlStat.ReplayedJobs))
+	}
+	s.mu.Unlock()
+	if s.cfg.Journal != nil && seq > 0 {
+		// Durable before the caller retires the adopted segments: the
+		// absorbed jobs' only remaining home is this journal.
+		if err := s.cfg.Journal.Commit(seq); err != nil {
+			err = fmt.Errorf("service: journal absorb: %w", err)
+			s.fail(err)
+			return absorbed, err
+		}
+	}
+	return absorbed, nil
+}
+
 // bumpNextID advances the ID allocator past a restored ID, staying on
 // this service's residue class. Caller holds mu.
 func (s *Service) bumpNextID(id workload.JobID) {
@@ -833,6 +963,20 @@ func (s *Service) Draining() bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.stopping
+}
+
+// Ready reports whether the service is fully serving: the scheduling
+// loop has been started and neither a drain nor a terminal error has
+// begun. Restore runs before Start, so a journaled restart is not ready
+// until its replay is finished and re-journaled. Part of the API
+// interface (/readyz).
+func (s *Service) Ready() bool {
+	if !s.started.Load() {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.stopping && s.err == nil
 }
 
 // Status returns the service's slice of a /v1/shards response, with

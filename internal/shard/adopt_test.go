@@ -1,0 +1,146 @@
+package shard
+
+// Tests for journal takeover: a surviving router adopts a dead
+// sibling's journal directory, completes the orphaned jobs, retires the
+// segments, and refuses to adopt from a writer that is still alive.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/journal"
+	"dollymp/internal/resources"
+	"dollymp/internal/workload"
+)
+
+// newMemberRouter builds a federated member owning the given residues
+// of a wider global shard space, journaling into dir.
+func newMemberRouter(t *testing.T, dir string, total int, residues []int, queueCap int) *Router {
+	t.Helper()
+	r, err := New(Config{
+		Fleet:         cluster.Uniform(8, resources.Cores(8, 16)),
+		Shards:        len(residues),
+		TotalShards:   total,
+		Residues:      residues,
+		NewScheduler:  newFifo,
+		Seed:          1,
+		Deterministic: true,
+		QueueCap:      queueCap,
+		Policy:        RouteP2C,
+		JournalDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestAdoptCompletesDeadMembersJobs is the kill-one-of-N core: member B
+// dies with accepted jobs in its journal; member A adopts the
+// directory, re-homes the jobs onto its own shards, completes them, and
+// retires the segments so a second adoption finds nothing.
+func TestAdoptCompletesDeadMembersJobs(t *testing.T) {
+	base := t.TempDir()
+	dirA, dirB := filepath.Join(base, "a"), filepath.Join(base, "b")
+	const total = 4
+	a := newMemberRouter(t, dirA, total, []int{0, 1}, 64)
+	b := newMemberRouter(t, dirB, total, []int{2, 3}, 64)
+
+	const n = 6
+	var ids []int64
+	for i := 0; i < n; i++ {
+		id, err := b.SubmitNowait(testJob(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// B's IDs must come from its own residue classes {2,3}.
+		if res := (int(id) - 1) % total; res != 2 && res != 3 {
+			t.Fatalf("member B allocated id %d (residue %d)", id, res)
+		}
+		ids = append(ids, int64(id))
+	}
+	// B dies before admitting anything: the accepted jobs exist only in
+	// its journal segments.
+	if err := b.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	a.Start()
+	rep, err := a.Adopt(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != n || rep.Pending != n || rep.Completed != 0 || rep.Skipped != 0 {
+		t.Fatalf("adopt report: %+v", rep)
+	}
+	if rep.Segments != 2 {
+		t.Fatalf("adopted %d segments, want 2", rep.Segments)
+	}
+	// The adopted jobs are findable through A's lookup path and complete
+	// under A's loops.
+	for _, id := range ids {
+		if _, ok := a.Job(workload.JobID(id)); !ok {
+			t.Fatalf("adopted job %d not found on survivor", id)
+		}
+	}
+	stopDrained(t, a)
+	if c := a.Counts(); c.Submitted != n || c.Completed != n {
+		t.Fatalf("adopted jobs lost: %+v", c)
+	}
+	js := a.JournalStatus()
+	if js.ReplayedJobs != n || js.ReplayedPending != n {
+		t.Fatalf("survivor journal status: %+v", js)
+	}
+
+	// The segments were renamed *.adopted: nothing live remains.
+	segs, err := journal.ListSegments(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("live segments left after takeover: %v", segs)
+	}
+}
+
+// TestAdoptRefusesLiveMember: while the "dead" member still holds its
+// segment leases, adoption must abort with ErrLeased and absorb
+// nothing — the gateway's death verdict is not trusted over the lease.
+func TestAdoptRefusesLiveMember(t *testing.T) {
+	base := t.TempDir()
+	dirA, dirB := filepath.Join(base, "a"), filepath.Join(base, "b")
+	a := newMemberRouter(t, dirA, 4, []int{0, 1}, 64)
+	b := newMemberRouter(t, dirB, 4, []int{2, 3}, 64)
+	if _, err := b.SubmitNowait(testJob(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	rep, err := a.Adopt(dirB)
+	if !journal.LeaseSupported() {
+		t.Skip("no flock on this platform")
+	}
+	if !errors.Is(err, ErrLeased) {
+		t.Fatalf("adopting a live member's dir: %v (report %+v)", err, rep)
+	}
+	if c := a.Counts(); c.Submitted != 0 {
+		t.Fatalf("refused adoption absorbed jobs: %+v", c)
+	}
+	// B is untouched and still drains its own job.
+	b.Start()
+	stopDrained(t, b)
+	if c := b.Counts(); c.Completed != 1 {
+		t.Fatalf("live member lost its job: %+v", c)
+	}
+	stopDrained(t, a)
+}
+
+// TestAdoptOwnDirRefused: a member must never adopt its own journal.
+func TestAdoptOwnDirRefused(t *testing.T) {
+	dir := t.TempDir()
+	a := newMemberRouter(t, dir, 2, []int{0, 1}, 16)
+	if _, err := a.Adopt(dir); err == nil {
+		t.Fatal("adopted own journal dir")
+	}
+	stopDrained(t, a)
+}

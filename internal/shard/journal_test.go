@@ -39,7 +39,10 @@ func TestRouterJournalRestartReplay(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Crash: no Stop, journals never closed.
+	// Crash: no Stop, no flush — the segment leases die with the fds.
+	if err := r1.Crash(); err != nil {
+		t.Fatal(err)
+	}
 
 	r2 := newJournalRouter(t, dir, 2, 64)
 	js := r2.JournalStatus()
@@ -77,6 +80,9 @@ func TestRouterJournalTopologyChange(t *testing.T) {
 		}
 	}
 	// Crash, then restart with half the shards: shard-001.wal is stale.
+	if err := r1.Crash(); err != nil {
+		t.Fatal(err)
+	}
 	r2 := newJournalRouter(t, dir, 1, 64)
 	js := r2.JournalStatus()
 	if js.Segments != 1 || js.StaleSegments != 1 {

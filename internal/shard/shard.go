@@ -70,6 +70,17 @@ type Config struct {
 	Fleet *cluster.Cluster
 	// Shards is the partition count P; 0 means 1.
 	Shards int
+	// TotalShards is the global shard count of a federated deployment:
+	// this router owns Shards of TotalShards residue classes, with the
+	// rest owned by sibling members behind a federation gateway. 0 means
+	// Shards — the whole deployment in one process, today's behavior.
+	TotalShards int
+	// Residues names the global residue classes this router's shards
+	// own, one per local shard: local shard k allocates IDs
+	// Residues[k]+1, Residues[k]+1+TotalShards, ... and journals to
+	// segment Residues[k]. Nil means the identity [0..Shards), which is
+	// only valid when TotalShards == Shards.
+	Residues []int
 	// NewScheduler builds shard k's policy instance. Policies are
 	// stateful, so every shard needs its own. Required.
 	NewScheduler func(shard int) (sched.Scheduler, error)
@@ -134,6 +145,14 @@ type Router struct {
 	cfg    Config
 	shards []*service.Service
 
+	// total and residues are the resolved global ID-space geometry:
+	// local shard k owns global residue residues[k] of total classes;
+	// residueIdx inverts residues. In a non-federated deployment these
+	// are the identity (total == len(shards), residues[k] == k).
+	total      int
+	residues   []int
+	residueIdx map[int]int
+
 	svcReg *metrics.Registry // shared by all shards, series labelled shard="k"
 	rtrReg *metrics.Registry // router-local metrics
 	routed []*metrics.Counter
@@ -145,6 +164,7 @@ type Router struct {
 	// replayed read-only and left in place (their jobs were re-homed).
 	jnls     []*journal.Journal
 	jnlExtra service.JournalStatus // dir-level stats not owned by any shard
+	adoptMu  sync.Mutex            // single-flights Adopt (journal takeover)
 
 	mu  sync.Mutex
 	rng *stats.RNG
@@ -155,8 +175,11 @@ type Router struct {
 	// a job's lifecycle record from one shard's map to another's and
 	// updates the ownership map, and readers holding migMu.RLock never
 	// observe the in-between state (job on neither shard, or on both).
+	// The ownership map also homes jobs whose residue class this router
+	// does not own — re-homed stale segments and adopted takeover jobs —
+	// so it exists regardless of Config.Steal.
 	migMu     sync.RWMutex
-	owned     map[workload.JobID]int // migrated job -> current shard; guarded by migMu
+	owned     map[workload.JobID]int // off-residue job -> current shard; guarded by migMu
 	stolen    atomic.Int64           // total jobs migrated off their submission shard
 	mStolen   []*metrics.Counter     // jobs stolen from shard k
 	mInjected []*metrics.Counter     // jobs migrated into shard k
@@ -204,20 +227,49 @@ func New(cfg Config) (*Router, error) {
 	if cfg.StealInterval < 0 || cfg.StealMax < 0 {
 		return nil, fmt.Errorf("shard: negative steal interval or batch cap")
 	}
+	if cfg.TotalShards == 0 {
+		cfg.TotalShards = cfg.Shards
+	}
+	if cfg.TotalShards < cfg.Shards {
+		return nil, fmt.Errorf("shard: total shards %d < local shards %d", cfg.TotalShards, cfg.Shards)
+	}
+	if cfg.Residues == nil {
+		if cfg.TotalShards != cfg.Shards {
+			return nil, fmt.Errorf("shard: %d of %d global shards requires explicit residues", cfg.Shards, cfg.TotalShards)
+		}
+		cfg.Residues = make([]int, cfg.Shards)
+		for k := range cfg.Residues {
+			cfg.Residues[k] = k
+		}
+	}
+	if len(cfg.Residues) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d residues for %d shards", len(cfg.Residues), cfg.Shards)
+	}
+	residueIdx := make(map[int]int, cfg.Shards)
+	for k, res := range cfg.Residues {
+		if res < 0 || res >= cfg.TotalShards {
+			return nil, fmt.Errorf("shard: residue %d outside [0, %d)", res, cfg.TotalShards)
+		}
+		if _, dup := residueIdx[res]; dup {
+			return nil, fmt.Errorf("shard: duplicate residue %d", res)
+		}
+		residueIdx[res] = k
+	}
 	parts, err := cluster.Partition(cfg.Fleet, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
 	r := &Router{
-		cfg:       cfg,
-		svcReg:    metrics.NewRegistry(),
-		rtrReg:    metrics.NewRegistry(),
-		rng:       stats.NewRNG(cfg.Seed).Split(0x5a5a),
-		stealStop: make(chan struct{}),
-		stealDone: make(chan struct{}),
-	}
-	if cfg.Steal {
-		r.owned = make(map[workload.JobID]int)
+		cfg:        cfg,
+		total:      cfg.TotalShards,
+		residues:   cfg.Residues,
+		residueIdx: residueIdx,
+		svcReg:     metrics.NewRegistry(),
+		rtrReg:     metrics.NewRegistry(),
+		rng:        stats.NewRNG(cfg.Seed).Split(0x5a5a),
+		owned:      make(map[workload.JobID]int),
+		stealStop:  make(chan struct{}),
+		stealDone:  make(chan struct{}),
 	}
 	// Open (and replay) the journal segments before any service exists:
 	// every accepted job of the previous run must be re-homed before a
@@ -241,17 +293,22 @@ func New(cfg Config) (*Router, error) {
 		if r.jnls != nil {
 			jnl = r.jnls[k]
 		}
+		// Shard labels, ID classes, and segment files all use the GLOBAL
+		// residue, so a federation gateway can merge member expositions
+		// and route by ID arithmetic without per-member translation. In a
+		// non-federated deployment residues[k] == k and nothing changes.
+		res := r.residues[k]
 		svc, err := service.New(service.Config{
 			Cluster:       parts[k],
 			Scheduler:     policy,
-			Seed:          cfg.Seed + uint64(k),
+			Seed:          cfg.Seed + uint64(res),
 			Deterministic: cfg.Deterministic,
 			QueueCap:      cfg.QueueCap,
 			MaxSlots:      cfg.MaxSlots,
 			Registry:      r.svcReg,
-			MetricLabels:  metrics.Labels{"shard": strconv.Itoa(k)},
-			IDBase:        workload.JobID(k + 1),
-			IDStride:      cfg.Shards,
+			MetricLabels:  metrics.Labels{"shard": strconv.Itoa(res)},
+			IDBase:        workload.JobID(res + 1),
+			IDStride:      r.total,
 			Journal:       jnl,
 		})
 		if err != nil {
@@ -259,12 +316,12 @@ func New(cfg Config) (*Router, error) {
 		}
 		r.shards = append(r.shards, svc)
 		r.routed = append(r.routed, r.rtrReg.Counter("dollymp_router_jobs_routed_total",
-			"Jobs placed on a shard by the router.", metrics.Labels{"shard": strconv.Itoa(k)}))
+			"Jobs placed on a shard by the router.", metrics.Labels{"shard": strconv.Itoa(res)}))
 		if cfg.Steal {
 			r.mStolen = append(r.mStolen, r.rtrReg.Counter("dollymp_router_jobs_stolen_total",
-				"Queued jobs the rebalancer migrated away from a shard.", metrics.Labels{"shard": strconv.Itoa(k)}))
+				"Queued jobs the rebalancer migrated away from a shard.", metrics.Labels{"shard": strconv.Itoa(res)}))
 			r.mInjected = append(r.mInjected, r.rtrReg.Counter("dollymp_router_jobs_injected_total",
-				"Queued jobs the rebalancer migrated into a shard.", metrics.Labels{"shard": strconv.Itoa(k)}))
+				"Queued jobs the rebalancer migrated into a shard.", metrics.Labels{"shard": strconv.Itoa(res)}))
 		}
 	}
 	if err := r.restore(ownReplays, staleReplays); err != nil {
@@ -292,7 +349,7 @@ func (r *Router) openJournals() (own, stale []*journal.Replay, err error) {
 	owned := make(map[string]bool, r.cfg.Shards)
 	own = make([]*journal.Replay, r.cfg.Shards)
 	for k := 0; k < r.cfg.Shards; k++ {
-		path := journal.SegmentPath(dir, k)
+		path := journal.SegmentPath(dir, r.cfg.Residues[k])
 		owned[path] = true
 		jnl, rep, err := journal.Open(path)
 		if err != nil {
@@ -324,8 +381,11 @@ func (r *Router) openJournals() (own, stale []*journal.Replay, err error) {
 }
 
 // restore merges every segment's replay — owned and stale — into one
-// deduplicated job set and seeds each job's residue-class shard with
-// it: completed jobs as lifecycle history, unfinished jobs re-enqueued.
+// deduplicated job set and seeds each job's home shard with it:
+// completed jobs as lifecycle history, unfinished jobs re-enqueued.
+// Jobs from residue classes this router does not own (stale segments of
+// a different topology) are re-homed deterministically and registered
+// in the ownership map so lookups still find them.
 func (r *Router) restore(own, stale []*journal.Replay) error {
 	if r.cfg.JournalDir == "" {
 		return nil
@@ -333,8 +393,11 @@ func (r *Router) restore(own, stale []*journal.Replay) error {
 	merged := journal.Merge(append(append([]*journal.Replay{}, own...), stale...)...)
 	perShard := make([][]*journal.ReplayJob, r.cfg.Shards)
 	for _, rj := range merged {
-		k := (int(rj.ID) - 1) % r.cfg.Shards
+		k, home := r.homeShard(rj.ID)
 		perShard[k] = append(perShard[k], rj)
+		if !home {
+			r.owned[rj.ID] = k // New is single-threaded; no lock yet
+		}
 	}
 	for k, jobs := range perShard {
 		if err := r.shards[k].Restore(jobs, own[k].Records, own[k].Truncated); err != nil {
@@ -342,6 +405,19 @@ func (r *Router) restore(own, stale []*journal.Replay) error {
 		}
 	}
 	return nil
+}
+
+// homeShard maps a job ID to the local shard that should hold it: its
+// residue class's shard when this router owns the class, else a
+// deterministic fallback (the class modulo the local shard count).
+// home reports whether the ID's own class landed it there — when false
+// the caller must record the placement in the ownership map.
+func (r *Router) homeShard(id workload.JobID) (k int, home bool) {
+	res := (int(id) - 1) % r.total
+	if k, ok := r.residueIdx[res]; ok {
+		return k, true
+	}
+	return res % len(r.shards), false
 }
 
 // closeJournals flushes and closes every open segment.
@@ -520,12 +596,13 @@ func (r *Router) pickLive() (k int, ok bool) {
 }
 
 // Job returns the lifecycle record for one job. The ownership map is
-// consulted first — a migrated job lives on the shard that stole it,
-// not in its ID's residue class — and the residue-class shard
-// ((id-1) mod P) is the fallback for never-migrated jobs, so exactly
-// one loop is consulted either way. Holding migMu across the lookup
-// means a job mid-migration is seen at its old home or its new one,
-// never at neither.
+// consulted first — a migrated or adopted job lives on the shard that
+// took it, not in its ID's residue class — and the residue-class shard
+// is the fallback for never-moved jobs, so exactly one loop is
+// consulted either way. An ID whose residue class belongs to a sibling
+// federation member (and was never adopted here) is simply not found.
+// Holding migMu across the lookup means a job mid-migration is seen at
+// its old home or its new one, never at neither.
 func (r *Router) Job(id workload.JobID) (service.JobInfo, bool) {
 	if id < 1 {
 		return service.JobInfo{}, false
@@ -534,7 +611,10 @@ func (r *Router) Job(id workload.JobID) (service.JobInfo, bool) {
 	defer r.migMu.RUnlock()
 	k, ok := r.owned[id]
 	if !ok {
-		k = (int(id) - 1) % len(r.shards)
+		res := (int(id) - 1) % r.total
+		if k, ok = r.residueIdx[res]; !ok {
+			return service.JobInfo{}, false
+		}
 	}
 	return r.shards[k].Job(id)
 }
@@ -566,12 +646,14 @@ func (r *Router) Counts() service.Counts {
 	return c
 }
 
-// Shards returns per-shard status with shard indices stamped.
+// Shards returns per-shard status with global residue indices stamped,
+// so /v1/shards rows from federated members concatenate without
+// colliding. Non-federated deployments see 0..P-1 as before.
 func (r *Router) Shards() []service.ShardStatus {
 	out := make([]service.ShardStatus, len(r.shards))
 	for k, s := range r.shards {
 		st := s.Status()
-		st.Shard = k
+		st.Shard = r.residues[k]
 		out[k] = st
 	}
 	return out
@@ -634,6 +716,36 @@ func (r *Router) Draining() bool {
 		}
 	}
 	return false
+}
+
+// Ready reports whether every scheduling loop is started and serving
+// (no drain, no terminal error). Part of the API interface (/readyz):
+// a federated member answers 503 until its startup replay is finished
+// and all its loops are up.
+func (r *Router) Ready() bool {
+	for _, s := range r.shards {
+		if !s.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// Crash simulates abrupt process death for tests: every journal fd is
+// closed without flushing, dropping buffered records and releasing the
+// segment leases exactly the way a SIGKILL would. The scheduling loops
+// are left running — they fail on their next journal append, just as a
+// real process dies mid-write — so after Crash the router serves
+// errors, its segments are adoptable, and a fresh router can replay
+// the directory. No-op without journaling.
+func (r *Router) Crash() error {
+	var errs []error
+	for _, jnl := range r.jnls {
+		if jnl != nil {
+			errs = append(errs, jnl.Crash())
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Err returns the first shard scheduling-loop error, if any.
@@ -767,11 +879,11 @@ func (r *Router) migrate(victim, thief, n int) int {
 }
 
 // noteOwner records where migrated jobs now live. A job back in its
-// ID's residue class needs no entry — the arithmetic fallback finds it.
-// Caller holds migMu.
+// ID's residue-class shard needs no entry — the arithmetic fallback
+// finds it. Caller holds migMu.
 func (r *Router) noteOwner(jobs []*workload.Job, k int) {
 	for _, j := range jobs {
-		if (int(j.ID)-1)%len(r.shards) == k {
+		if (int(j.ID)-1)%r.total == r.residues[k] {
 			delete(r.owned, j.ID)
 		} else {
 			r.owned[j.ID] = k

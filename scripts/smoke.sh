@@ -7,19 +7,22 @@
 # {"error":{"code","message"}} and /v1/shards reports the topology);
 # with -shards 4 -route single -steal, skewing every submission onto
 # shard 0 and requiring the rebalancer to migrate jobs off it (non-zero
-# steal counter, all jobs still complete); and a kill-and-restart pass:
+# steal counter, all jobs still complete); a kill-and-restart pass:
 # submit N jobs against -journal-dir, SIGKILL the daemon mid-run,
 # restart it on the same directory, and require all N jobs to complete
 # with a non-zero journal replay — zero accepted-job loss across a
-# crash.
+# crash; and a federation pass: two -member daemons behind a -gateway,
+# SIGKILL one member mid-run, and require the gateway-driven journal
+# takeover to finish every accepted job on the survivor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${SMOKE_JOBS:-50}"
 WORKERS="${SMOKE_WORKERS:-4}"
 BIN="$(mktemp -d)"
-trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+trap 'kill $DPID $EXTRA_PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT
 DPID=""
+EXTRA_PIDS=""
 
 go build -o "$BIN/dollympd" ./cmd/dollympd
 go build -o "$BIN/dollymp-load" ./cmd/dollymp-load
@@ -94,6 +97,65 @@ smoke_crash() {
     echo "smoke: OK ($njobs jobs, SIGKILL + journal replay, zero loss)"
 }
 
+# Federation pass: two members behind a gateway; SIGKILL one member
+# mid-run and require the gateway-driven journal takeover to finish
+# every accepted job, with a non-zero replay counter on the survivor
+# (after the kill, the merged /metrics is the survivor's alone).
+smoke_federation() {
+    local njobs=$1
+    local FDIR="$BIN/fed"
+    mkdir -p "$FDIR/a" "$FDIR/b"
+    local MAN="$FDIR/fed.json"
+
+    # Members read only their residues and journal dir; the URLs the
+    # gateway routes by are filled in once the bound ports are known.
+    cat >"$MAN" <<EOF
+{"shards": 4, "members": [
+  {"name": "m0", "journal_dir": "$FDIR/a", "residues": [0, 1]},
+  {"name": "m1", "journal_dir": "$FDIR/b", "residues": [2, 3]}
+]}
+EOF
+    start_daemon "$BIN/fed-m0.log" -queue-cap 256 -manifest "$MAN" -member m0
+    local M0PID=$DPID M0ADDR=$ADDR
+    EXTRA_PIDS="$EXTRA_PIDS $M0PID"; DPID=""
+    start_daemon "$BIN/fed-m1.log" -queue-cap 256 -manifest "$MAN" -member m1
+    local M1PID=$DPID M1ADDR=$ADDR
+    EXTRA_PIDS="$EXTRA_PIDS $M1PID"; DPID=""
+
+    cat >"$MAN" <<EOF
+{"shards": 4, "members": [
+  {"name": "m0", "url": "$M0ADDR", "journal_dir": "$FDIR/a", "residues": [0, 1]},
+  {"name": "m1", "url": "$M1ADDR", "journal_dir": "$FDIR/b", "residues": [2, 3]}
+]}
+EOF
+    start_daemon "$BIN/fed-gw.log" -gateway -manifest "$MAN"
+    local GPID=$DPID GADDR=$ADDR
+    EXTRA_PIDS="$EXTRA_PIDS $GPID"; DPID=""
+    echo "smoke: federation gateway at $GADDR (members $M0ADDR $M1ADDR)"
+
+    # The gateway's error surface is the members': same envelope, same
+    # federated 4-shard topology.
+    "$BIN/dollymp-load" -addr "$GADDR" -probe -expect-shards 4
+    "$BIN/dollymp-load" -addr "$GADDR" -n "$njobs" -c "$WORKERS"
+
+    # SIGKILL one member: the gateway must declare it dead and have the
+    # survivor adopt its journal; every accepted job still completes.
+    kill -9 "$M1PID"
+    wait "$M1PID" 2>/dev/null || true
+    "$BIN/dollymp-load" -addr "$GADDR" -n "$njobs" -watch -min-replayed 1 -timeout 90s
+
+    kill -TERM "$GPID"
+    wait "$GPID" || { echo "smoke: gateway exited non-zero"; cat "$BIN/fed-gw.log"; exit 1; }
+    kill -TERM "$M0PID"
+    wait "$M0PID" || { echo "smoke: surviving member exited non-zero"; cat "$BIN/fed-m0.log"; exit 1; }
+    EXTRA_PIDS=""
+    # The survivor's drain summary must account for EVERY accepted job:
+    # its own residues plus everything adopted from the dead member.
+    grep -q "drained: $njobs submitted, $njobs completed" "$BIN/fed-m0.log" \
+        || { echo "smoke: survivor drain summary missing or wrong"; cat "$BIN/fed-m0.log"; exit 1; }
+    echo "smoke: OK ($njobs jobs, federation kill-one-of-2, takeover, zero loss)"
+}
+
 smoke_pass 1 "$JOBS" ""
 smoke_pass 4 "$JOBS" "" -batch 8
 # Skewed pass: -route single funnels everything onto shard 0's queue;
@@ -101,4 +163,5 @@ smoke_pass 4 "$JOBS" "" -batch 8
 smoke_pass 4 $((JOBS * 8)) "-route single -steal -steal-interval 200us" \
     -batch 8 -min-steals 1
 smoke_crash "$JOBS"
+smoke_federation "$JOBS"
 echo "smoke: OK (all passes)"
