@@ -1,0 +1,76 @@
+package dollymp
+
+// Edge admission, re-exported through the facade: a pluggable policy
+// that sits in front of the admission queue and decides, per job,
+// whether the deployment should take the work at all right now.
+// Backpressure (queue_full) says "the queue is full"; an admission
+// denial says "the queue may have room but you are over your share" —
+// rate limits and per-tenant weighted fairness live here.
+//
+//	pol := dollymp.NewWeightedFair(dollymp.WeightedFairConfig{
+//	    Weights: map[string]float64{"batch": 1, "serving": 4},
+//	})
+//	router, _ := dollymp.NewRouter(dollymp.RouterConfig{
+//	    Fleet: fleet, Shards: 4, NewScheduler: newSched,
+//	    Admission: pol,
+//	})
+//
+// A denied submission surfaces as *AdmissionError (errors.Is
+// ErrAdmissionDenied) and, over HTTP, as a 429 with code
+// "admission_denied", a machine-readable reason, and a Retry-After
+// hint. GET /v1/admission reports the policy and its per-tenant
+// decision accounting.
+
+import (
+	"dollymp/internal/admission"
+	"dollymp/internal/service"
+)
+
+type (
+	// AdmissionPolicy decides, per submitted job, admit or deny.
+	AdmissionPolicy = admission.Policy
+	// AdmissionSnapshot is the queue-state view a policy decides on.
+	AdmissionSnapshot = admission.Snapshot
+	// AdmissionDecision is one policy verdict.
+	AdmissionDecision = admission.Decision
+	// AdmissionStats is a policy's decision accounting.
+	AdmissionStats = admission.Stats
+	// AdmissionTenantStats is one tenant's slice of AdmissionStats.
+	AdmissionTenantStats = admission.TenantStats
+	// AdmissionStatus is the GET /v1/admission response.
+	AdmissionStatus = service.AdmissionStatus
+	// AdmissionError is the denial error carrying reason and retry hint.
+	AdmissionError = service.AdmissionError
+
+	// TokenBucket is the global-rate admission policy.
+	TokenBucket = admission.TokenBucket
+	// TokenBucketConfig configures a TokenBucket.
+	TokenBucketConfig = admission.TokenBucketConfig
+	// WeightedFair is the per-tenant weighted-fair admission policy.
+	WeightedFair = admission.WeightedFair
+	// WeightedFairConfig configures a WeightedFair.
+	WeightedFairConfig = admission.WeightedFairConfig
+)
+
+// Admission denial reasons (AdmissionDecision.Reason).
+const (
+	AdmissionRateLimited = admission.ReasonRateLimited
+	AdmissionOverWeight  = admission.ReasonOverWeight
+)
+
+// ErrAdmissionDenied: the edge admission policy refused the job before
+// it reached the queue (HTTP 429, code "admission_denied").
+var ErrAdmissionDenied = service.ErrAdmissionDenied
+
+// NewTokenBucket builds the global token-bucket policy.
+var NewTokenBucket = admission.NewTokenBucket
+
+// NewWeightedFair builds the per-tenant weighted-fair policy.
+var NewWeightedFair = admission.NewWeightedFair
+
+// ParseWeights parses "tenant=weight,..." (dollympd -admission-weights);
+// FormatWeights renders the inverse, sorted by tenant.
+var (
+	ParseWeights  = admission.ParseWeights
+	FormatWeights = admission.FormatWeights
+)

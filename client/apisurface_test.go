@@ -1,0 +1,113 @@
+package client
+
+// The exported-surface guard: the client package is a public SDK, so
+// its API is frozen in api.txt and any drift — a renamed method, a new
+// exported helper, a removed option — fails this test until api.txt is
+// deliberately updated in the same change. Regenerate with:
+//
+//	APISURFACE_UPDATE=1 go test ./client -run TestExportedSurface
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exportedSurface renders one line per exported declaration: funcs,
+// methods (with receiver), types, struct fields, consts and vars.
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	add := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for fname, f := range pkg.Files {
+			if strings.HasSuffix(fname, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv == nil {
+						add("func %s", d.Name.Name)
+						continue
+					}
+					recv := d.Recv.List[0].Type
+					star := ""
+					if se, ok := recv.(*ast.StarExpr); ok {
+						recv = se.X
+						star = "*"
+					}
+					id, ok := recv.(*ast.Ident)
+					if !ok || !id.IsExported() {
+						continue
+					}
+					add("method (%s%s) %s", star, id.Name, d.Name.Name)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							kind := "type"
+							if st, ok := s.Type.(*ast.StructType); ok {
+								kind = "struct"
+								for _, fld := range st.Fields.List {
+									for _, fn := range fld.Names {
+										if fn.IsExported() {
+											add("field %s.%s", s.Name.Name, fn.Name)
+										}
+									}
+								}
+							}
+							add("%s %s", kind, s.Name.Name)
+						case *ast.ValueSpec:
+							for _, vn := range s.Names {
+								if vn.IsExported() {
+									add("%s %s", strings.ToLower(d.Tok.String()), vn.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestExportedSurface(t *testing.T) {
+	got := strings.Join(exportedSurface(t), "\n") + "\n"
+	if os.Getenv("APISURFACE_UPDATE") == "1" {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("read api.txt: %v (run with APISURFACE_UPDATE=1 to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported surface drifted from api.txt.\n--- api.txt\n%s\n--- current\n%s\n"+
+			"If the change is intentional, regenerate: APISURFACE_UPDATE=1 go test ./client -run TestExportedSurface",
+			want, got)
+	}
+}

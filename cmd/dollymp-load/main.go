@@ -6,12 +6,14 @@
 // -probe it exercises the /v1 error surface and asserts every failure
 // is the machine-readable envelope {"error":{"code","message"}}.
 //
-// Retry policy: the generator branches on the envelope's error code,
-// not the HTTP status line. "queue_full" and "unavailable" are the only
-// retryable codes — backpressure, and a federation gateway momentarily
-// without a live member during a takeover; any other code — including
-// 5xx-carried "draining" and "internal" — aborts the run with the code
-// surfaced in the error.
+// The tool is a thin shell over the public client SDK (dollymp/client):
+// every HTTP request — submission with envelope-code retries and
+// partial-batch resubmission, shard-aware routing against a federation
+// gateway, completion waiting, metrics scraping, the error-surface
+// probe — goes through the Client. The retry policy is the SDK's:
+// "queue_full", "admission_denied" and "unavailable" back off by the
+// server's Retry-After hint and resubmit; any other code aborts the run
+// with the code surfaced in the error.
 //
 // Usage:
 //
@@ -20,33 +22,36 @@
 //	dollymp-load -addr http://127.0.0.1:8080 -n 5000 -c 8 -batch 32 -wait
 //	dollymp-load -addr http://127.0.0.1:8080 -probe -expect-shards 4
 //	dollymp-load -addr http://127.0.0.1:8080 -n 50 -watch -min-replayed 1
+//	dollymp-load -addr http://127.0.0.1:8080 -n 400 -tenants heavy=4,light=1 -wait
 //
 // With -watch nothing is submitted: the generator only waits for -n
 // jobs to reach completed — the kill-and-restart smoke pass uses it
 // against a daemon that replayed its journal, with -min-replayed
 // asserting the restart actually restored jobs rather than starting
 // empty.
+//
+// With -tenants, jobs carry tenant labels assigned proportionally to
+// the given weights ("heavy=4,light=1" labels 4 of every 5 jobs
+// heavy); with -wait the per-tenant ?tenant= filters are then verified
+// against the assignment, and the per-tenant admitted counts from
+// /v1/admission are printed — pointed at a daemon running
+// -admission=fair, this is the skewed-overload fairness check.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dollymp"
-	"dollymp/internal/metrics"
-	"dollymp/internal/service"
+	"dollymp/client"
 	"dollymp/internal/stats"
-	"dollymp/internal/trace"
-	"dollymp/internal/workload"
 )
 
 func main() {
@@ -65,18 +70,24 @@ func main() {
 		steals  = flag.Int64("min-steals", 0, "with -wait: assert the rebalancer migrated at least this many jobs (0 = skip)")
 		watch   = flag.Bool("watch", false, "submit nothing; wait for -n jobs to complete (post-restart verification)")
 		replay  = flag.Int64("min-replayed", 0, "with -wait/-watch: assert the journal replayed at least this many jobs (0 = skip)")
+		tenants = flag.String("tenants", "", "label jobs with tenants proportionally to weights (\"a=4,b=1\"; with -wait, verifies ?tenant= filters and prints per-tenant admission counts)")
+		viaGW   = flag.Bool("gateway-only", false, "disable shard-aware direct-to-member routing; always submit through -addr")
 	)
 	flag.Parse()
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	opts := []client.Option{}
+	if *viaGW {
+		opts = append(opts, client.WithGatewayOnly())
+	}
+	cl := client.New(*addr, opts...)
 	var err error
 	switch {
 	case *probe:
-		err = runProbe(client, *addr, *shards)
+		err = runProbe(cl, *shards)
 	case *watch:
-		err = waitComplete(client, *addr, int64(*n), *steals, *replay, *timeout)
+		err = watchOnly(cl, int64(*n), *steals, *replay, *timeout)
 	default:
-		err = run(client, *addr, *wl, *n, *c, *batch, *qps, *seed, *wait, *timeout, *steals, *replay)
+		err = run(cl, *wl, *tenants, *n, *c, *batch, *qps, *seed, *wait, *timeout, *steals, *replay)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dollymp-load:", err)
@@ -84,7 +95,7 @@ func main() {
 	}
 }
 
-func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, seed uint64, wait bool, timeout time.Duration, minSteals, minReplayed int64) error {
+func run(cl *client.Client, wl, tenantSpec string, n, c, batch int, qps float64, seed uint64, wait bool, timeout time.Duration, minSteals, minReplayed int64) error {
 	if n < 1 || c < 1 || batch < 1 {
 		return fmt.Errorf("-n, -c and -batch must be positive")
 	}
@@ -98,9 +109,11 @@ func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, see
 		j.ID = 0
 		j.Arrival = 0
 	}
-	// One request per batch: a single job posts as raw JSON, a batch > 1
-	// as a trace-file submission (the endpoint accepts both).
-	var batches [][]*workload.Job
+	perTenant, err := labelTenants(jobs, tenantSpec)
+	if err != nil {
+		return err
+	}
+	var batches [][]*dollymp.Job
 	for at := 0; at < n; at += batch {
 		end := at + batch
 		if end > n {
@@ -117,10 +130,11 @@ func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, see
 		tick = tk.C
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	var (
 		next      atomic.Int64
 		submitted atomic.Int64
-		retries   atomic.Int64
 		mu        sync.Mutex
 		latencies []float64
 	)
@@ -139,14 +153,15 @@ func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, see
 				if tick != nil {
 					<-tick
 				}
-				lat, err := submitBatch(client, addr, batches[i], &retries)
+				t0 := time.Now()
+				ids, err := cl.SubmitBatch(ctx, batches[i])
 				if err != nil {
 					errCh <- fmt.Errorf("batch %d: %w", i, err)
 					return
 				}
-				submitted.Add(int64(len(batches[i])))
+				submitted.Add(int64(len(ids)))
 				mu.Lock()
-				latencies = append(latencies, lat.Seconds()*1e3)
+				latencies = append(latencies, time.Since(t0).Seconds()*1e3)
 				mu.Unlock()
 			}
 		}()
@@ -162,14 +177,17 @@ func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, see
 	ecdf := stats.NewECDF(latencies)
 	fmt.Printf("submitted %d jobs in %v (%.1f jobs/s, %d submitters, %d backpressure retries)\n",
 		submitted.Load(), elapsed.Round(time.Millisecond),
-		float64(submitted.Load())/elapsed.Seconds(), c, retries.Load())
+		float64(submitted.Load())/elapsed.Seconds(), c, cl.Retries())
 	fmt.Printf("submit latency p50/p95/p99: %.2f / %.2f / %.2f ms\n",
 		ecdf.Quantile(0.5), ecdf.Quantile(0.95), ecdf.Quantile(0.99))
 
 	if !wait {
 		return nil
 	}
-	if err := waitComplete(client, addr, int64(n), minSteals, minReplayed, timeout); err != nil {
+	if err := waitDrained(ctx, cl, int64(n), minSteals, minReplayed); err != nil {
+		return err
+	}
+	if err := verifyTenants(ctx, cl, perTenant); err != nil {
 		return err
 	}
 	e2e := time.Since(start)
@@ -178,266 +196,114 @@ func run(client *http.Client, addr, wl string, n, c, batch int, qps float64, see
 	return nil
 }
 
-// decodeEnvelope extracts the error envelope from a non-2xx body. The
-// second return reports whether the body actually was envelope-shaped.
-func decodeEnvelope(body []byte) (service.ErrorResponse, bool) {
-	var er service.ErrorResponse
-	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" {
-		return er, false
+// labelTenants stamps jobs with tenant labels proportionally to the
+// spec's weights ("a=4,b=1" → 4 of every 5 jobs labelled a), greedily
+// keeping every prefix of the assignment on-ratio. Returns the
+// per-tenant counts ("" spec → nil, nothing labelled).
+func labelTenants(jobs []*dollymp.Job, spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
 	}
-	return er, true
-}
-
-// retryable reports whether a failed submission should be retried:
-// "queue_full" (backpressure) and "unavailable" (a federation gateway
-// with no live member mid-takeover) are the retryable codes. A bare
-// 429 from a pre-envelope daemon gets the same treatment so the
-// generator stays usable against old builds; every other status or
-// code is fatal.
-func retryable(status int, er service.ErrorResponse, ok bool) bool {
-	if ok {
-		return er.Error.Code == service.CodeQueueFull || er.Error.Code == service.CodeUnavailable
-	}
-	return status == http.StatusTooManyRequests
-}
-
-// submitBatch POSTs a batch of jobs, retrying on queue_full
-// backpressure, and returns the (final attempt's) submit latency.
-// A partially accepted batch (429 mid-trace) resubmits only the
-// rejected tail — the envelope's accepted IDs say how far the daemon
-// got, and resubmitting those jobs would duplicate them. Fatal errors
-// carry the envelope's machine-readable code, not just the status
-// line.
-func submitBatch(client *http.Client, addr string, jobs []*workload.Job, retries *atomic.Int64) (time.Duration, error) {
-	for {
-		body, err := encodeBatch(jobs)
-		if err != nil {
-			return 0, err
-		}
-		t0 := time.Now()
-		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return 0, err
-		}
-		lat := time.Since(t0)
-		out, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusAccepted {
-			return lat, nil
-		}
-		er, ok := decodeEnvelope(out)
-		if retryable(resp.StatusCode, er, ok) {
-			if n := len(er.IDs); n > 0 && n < len(jobs) {
-				jobs = jobs[n:]
-			}
-			retries.Add(1)
-			time.Sleep(5 * time.Millisecond)
-			continue
-		}
-		if ok {
-			return 0, fmt.Errorf("status %d, code %s: %s", resp.StatusCode, er.Error.Code, er.Error.Message)
-		}
-		return 0, fmt.Errorf("status %d (no error envelope): %s", resp.StatusCode, bytes.TrimSpace(out))
-	}
-}
-
-// encodeBatch renders a submission body: raw job JSON for one job, a
-// v1 trace file for several.
-func encodeBatch(jobs []*workload.Job) ([]byte, error) {
-	if len(jobs) == 1 {
-		return json.Marshal(jobs[0])
-	}
-	var buf bytes.Buffer
-	if err := trace.Write(&buf, jobs); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// sumByName collapses a labelled scrape into per-family totals: a
-// sharded daemon exposes dollymp_jobs_completed_total{shard="k"} per
-// shard, and the load generator cares about the deployment-wide sum.
-func sumByName(samples map[string]metrics.PromSample) map[string]float64 {
-	out := make(map[string]float64)
-	for _, s := range samples {
-		out[s.Name] += s.Value
-	}
-	return out
-}
-
-// waitComplete polls /metrics until the completed counter reaches want,
-// then cross-checks the scrape against the service's own accounting.
-// Counters are summed across shard labels. With minSteals > 0 the
-// rebalancer's migration counter must have reached it — the skewed
-// smoke pass uses this to prove stealing actually fired. With
-// minReplayed > 0 the journal replay gauge must have reached it — the
-// kill-and-restart pass uses this to prove the daemon recovered from
-// its journal rather than starting empty.
-func waitComplete(client *http.Client, addr string, want, minSteals, minReplayed int64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		samples, err := scrape(client, addr)
-		if err != nil {
-			return err
-		}
-		sums := sumByName(samples)
-		completed := int64(sums["dollymp_jobs_completed_total"])
-		if completed >= want {
-			if got := int64(sums["dollymp_job_completion_slots_count"]); got != completed {
-				return fmt.Errorf("JCT histogram has %d observations, completed counter says %d", got, completed)
-			}
-			if sub := int64(sums["dollymp_jobs_submitted_total"]); sub < want {
-				return fmt.Errorf("submitted counter %d < %d jobs sent", sub, want)
-			}
-			stolen := int64(sums["dollymp_router_jobs_stolen_total"])
-			if minSteals > 0 && stolen < minSteals {
-				return fmt.Errorf("rebalancer migrated %d jobs, want >= %d", stolen, minSteals)
-			}
-			replayed := int64(sums["dollymp_journal_replayed_jobs"])
-			if minReplayed > 0 && replayed < minReplayed {
-				return fmt.Errorf("journal replayed %d jobs, want >= %d", replayed, minReplayed)
-			}
-			fmt.Printf("all %d jobs completed; /metrics parses and counters agree (%d stolen, %d replayed)\n",
-				completed, stolen, replayed)
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("timeout: %d of %d jobs completed after %v", completed, want, timeout)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-}
-
-// scrape fetches and strictly parses the Prometheus exposition — a
-// parse error fails the run, making every -wait invocation a format
-// regression test.
-func scrape(client *http.Client, addr string) (map[string]metrics.PromSample, error) {
-	resp, err := client.Get(addr + "/metrics")
+	weights, err := dollymp.ParseWeights(spec)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("-tenants: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	if len(weights) == 0 {
+		return nil, nil
 	}
-	samples, err := metrics.ParsePromText(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("/metrics output invalid: %w", err)
+	names := make([]string, 0, len(weights))
+	for tn := range weights {
+		names = append(names, tn)
 	}
-	return samples, nil
+	sort.Strings(names)
+	counts := make(map[string]int, len(names))
+	for _, j := range jobs {
+		// Next label: the tenant furthest below its weighted share.
+		best := names[0]
+		bestScore := float64(counts[best]) / weights[best]
+		for _, tn := range names[1:] {
+			if score := float64(counts[tn]) / weights[tn]; score < bestScore {
+				best, bestScore = tn, score
+			}
+		}
+		j.Tenant = best
+		counts[best]++
+	}
+	return counts, nil
 }
 
-// runProbe exercises the daemon's error surface: every failure must be
-// the uniform envelope with the right machine-readable code. With
-// expectShards > 0 it also asserts the /v1/shards topology. This is
-// what scripts/smoke.sh runs instead of hand-rolled curl checks.
-func runProbe(client *http.Client, addr string, expectShards int) error {
-	expectEnvelope := func(desc string, resp *http.Response, err error, wantStatus int, wantCode string) error {
-		if err != nil {
-			return fmt.Errorf("%s: %w", desc, err)
-		}
-		out, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != wantStatus {
-			return fmt.Errorf("%s: status %d, want %d (%s)", desc, resp.StatusCode, wantStatus, bytes.TrimSpace(out))
-		}
-		er, ok := decodeEnvelope(out)
-		if !ok {
-			return fmt.Errorf("%s: response is not envelope-shaped: %s", desc, bytes.TrimSpace(out))
-		}
-		if er.Error.Code != wantCode {
-			return fmt.Errorf("%s: code %q, want %q", desc, er.Error.Code, wantCode)
-		}
-		if er.Error.Message == "" {
-			return fmt.Errorf("%s: envelope without message", desc)
-		}
+// verifyTenants cross-checks the daemon's ?tenant= filters against the
+// assignment and prints the per-tenant admission accounting.
+func verifyTenants(ctx context.Context, cl *client.Client, perTenant map[string]int) error {
+	if len(perTenant) == 0 {
 		return nil
 	}
-
-	resp, err := client.Post(addr+"/v1/jobs", "application/json", strings.NewReader("not json"))
-	if err := expectEnvelope("malformed submit", resp, err, http.StatusBadRequest, service.CodeInvalidArgument); err != nil {
-		return err
+	names := make([]string, 0, len(perTenant))
+	for tn := range perTenant {
+		names = append(names, tn)
 	}
-	resp, err = client.Get(addr + "/v1/jobs/999999999")
-	if err := expectEnvelope("missing job", resp, err, http.StatusNotFound, service.CodeNotFound); err != nil {
-		return err
-	}
-	resp, err = client.Get(addr + "/v1/jobs/xyzzy")
-	if err := expectEnvelope("malformed job id", resp, err, http.StatusBadRequest, service.CodeInvalidArgument); err != nil {
-		return err
-	}
-	resp, err = client.Get(addr + "/v1/jobs?state=bogus")
-	if err := expectEnvelope("bad state filter", resp, err, http.StatusBadRequest, service.CodeInvalidArgument); err != nil {
-		return err
-	}
-	resp, err = client.Get(addr + "/v2/nope")
-	if err := expectEnvelope("unknown route", resp, err, http.StatusNotFound, service.CodeNotFound); err != nil {
-		return err
-	}
-	req, rerr := http.NewRequest(http.MethodDelete, addr+"/v1/jobs", nil)
-	if rerr != nil {
-		return rerr
-	}
-	resp, err = client.Do(req)
-	if err := expectEnvelope("method mismatch", resp, err, http.StatusMethodNotAllowed, service.CodeMethodNotAllowed); err != nil {
-		return err
-	}
-	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, http.MethodPost) {
-		return fmt.Errorf("method mismatch: Allow %q does not offer POST", allow)
-	}
-
-	// Readiness: a serving daemon — or a gateway whose live members are
-	// all serving — answers /readyz 200 once replay and loops are up.
-	resp, err = client.Get(addr + "/readyz")
-	if err != nil {
-		return fmt.Errorf("readyz: %w", err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("readyz: status %d, want 200", resp.StatusCode)
-	}
-
-	// The happy-path list must paginate.
-	resp, err = client.Get(addr + "/v1/jobs?limit=1")
-	if err != nil {
-		return fmt.Errorf("list jobs: %w", err)
-	}
-	var list struct {
-		Jobs  []json.RawMessage `json:"jobs"`
-		Total int               `json:"total"`
-		Limit int               `json:"limit"`
-	}
-	lerr := json.NewDecoder(resp.Body).Decode(&list)
-	resp.Body.Close()
-	if lerr != nil || resp.StatusCode != http.StatusOK || list.Limit != 1 {
-		return fmt.Errorf("list jobs: status %d, limit %d, err %v", resp.StatusCode, list.Limit, lerr)
-	}
-
-	resp, err = client.Get(addr + "/v1/shards")
-	if err != nil {
-		return fmt.Errorf("shards: %w", err)
-	}
-	var sr struct {
-		Shards []service.ShardStatus `json:"shards"`
-	}
-	serr := json.NewDecoder(resp.Body).Decode(&sr)
-	resp.Body.Close()
-	if serr != nil || resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("shards: status %d, err %v", resp.StatusCode, serr)
-	}
-	if len(sr.Shards) == 0 {
-		return fmt.Errorf("shards: empty topology")
-	}
-	if expectShards > 0 && len(sr.Shards) != expectShards {
-		return fmt.Errorf("shards: daemon reports %d, want %d", len(sr.Shards), expectShards)
-	}
-	for i, st := range sr.Shards {
-		if st.Shard != i {
-			return fmt.Errorf("shards: entry %d reports index %d", i, st.Shard)
+	sort.Strings(names)
+	for _, tn := range names {
+		list, err := cl.Jobs(ctx, client.JobQuery{Tenant: tn, Limit: 1})
+		if err != nil {
+			return fmt.Errorf("jobs?tenant=%s: %w", tn, err)
+		}
+		if list.Total != perTenant[tn] {
+			return fmt.Errorf("tenant %s: daemon reports %d jobs, %d were submitted", tn, list.Total, perTenant[tn])
 		}
 	}
+	adm, err := cl.Admission(ctx)
+	if err != nil {
+		return fmt.Errorf("admission view: %w", err)
+	}
+	parts := make([]string, 0, len(names))
+	for _, tn := range names {
+		if ts, ok := tenantStats(adm, tn); ok {
+			parts = append(parts, fmt.Sprintf("%s %d/%d", tn, ts.Admitted, ts.Admitted+ts.Denied))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s %d jobs", tn, perTenant[tn]))
+		}
+	}
+	fmt.Printf("tenants verified (policy %s): %s\n", adm.Policy, strings.Join(parts, ", "))
+	return nil
+}
 
-	fmt.Printf("probe ok: error envelope verified on 6 surfaces, /readyz serving, %d shard(s) reported\n", len(sr.Shards))
+func tenantStats(adm dollymp.AdmissionStatus, tenant string) (dollymp.AdmissionTenantStats, bool) {
+	if adm.Stats == nil {
+		return dollymp.AdmissionTenantStats{}, false
+	}
+	ts, ok := adm.Stats.Tenants[tenant]
+	return ts, ok
+}
+
+// waitDrained waits for every submitted job to complete and prints the
+// counter cross-check summary (see client.WaitDrained for the checks).
+func waitDrained(ctx context.Context, cl *client.Client, want, minSteals, minReplayed int64) error {
+	st, err := cl.WaitDrained(ctx, client.WaitConfig{
+		Jobs: want, MinSteals: minSteals, MinReplayed: minReplayed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all %d jobs completed; /metrics parses and counters agree (%d stolen, %d replayed)\n",
+		st.Completed, st.Stolen, st.Replayed)
+	return nil
+}
+
+func watchOnly(cl *client.Client, want, minSteals, minReplayed int64, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return waitDrained(ctx, cl, want, minSteals, minReplayed)
+}
+
+func runProbe(cl *client.Client, expectShards int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := cl.Probe(ctx, expectShards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probe ok: error envelope verified on %d surfaces, /readyz serving, %d shard(s) reported, admission policy %s\n",
+		rep.EnvelopeChecks, rep.Shards, rep.AdmissionPolicy)
 	return nil
 }

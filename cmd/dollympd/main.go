@@ -11,6 +11,17 @@
 //	dollympd -shards 4 -steal              # cross-shard work stealing
 //	dollympd -manifest fed.json -member m0 # one federation member
 //	dollympd -manifest fed.json -gateway   # the federation gateway
+//	dollympd -admission token-bucket -admission-rate 200
+//	dollympd -admission fair -admission-weights "batch=1,serving=4"
+//
+// With -admission an edge policy polices submissions before they reach
+// the admission queue: token-bucket caps the global rate, fair divides
+// admissions between tenants by weight when the queue is under
+// pressure. Denials are 429s with code "admission_denied", a reason,
+// and a Retry-After hint; GET /v1/admission reports the accounting.
+// The policy sits at the deployment edge — the router in the standalone
+// and -member modes, the gateway itself with -gateway (where it refuses
+// batches before any member is contacted).
 //
 // With -shards N the fleet is partitioned into N disjoint sub-fleets,
 // each with its own scheduling loop, behind a load-aware router; at the
@@ -70,8 +81,18 @@ func main() {
 		manifest  = flag.String("manifest", "", "federation membership manifest (JSON); required by -member and -gateway")
 		member    = flag.String("member", "", "run as this named member of the -manifest federation")
 		gateway   = flag.Bool("gateway", false, "run as the stateless federation gateway over -manifest")
+		admName   = flag.String("admission", "none", "edge admission policy: none, token-bucket, or fair")
+		admRate   = flag.Float64("admission-rate", 100, "token-bucket: sustained admissions per second")
+		admBurst  = flag.Float64("admission-burst", 0, "policy burst: token-bucket capacity, or the fair policy's per-tenant debt allowance (0 = policy default)")
+		admWts    = flag.String("admission-weights", "", "fair: per-tenant weights, \"tenant=weight,...\" (unlisted tenants get weight 1)")
 	)
 	flag.Parse()
+
+	adm, err := buildAdmission(*admName, *admRate, *admBurst, *admWts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dollympd:", err)
+		os.Exit(1)
+	}
 
 	cfg := dollymp.RouterConfig{
 		Shards:        *shards,
@@ -83,13 +104,13 @@ func main() {
 		StealRatio:    *stealR,
 		StealInterval: *stealIv,
 		JournalDir:    *jnlDir,
+		Admission:     adm,
 	}
-	var err error
 	switch {
 	case *gateway && *member != "":
 		err = fmt.Errorf("-gateway and -member are mutually exclusive")
 	case *gateway:
-		err = runGateway(*addr, *manifest, *drainTO)
+		err = runGateway(*addr, *manifest, adm, *drainTO)
 	case *member != "":
 		err = runMember(*addr, *manifest, *member, *schedName, *fleetSpec, cfg, *drainTO)
 	default:
@@ -98,6 +119,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dollympd:", err)
 		os.Exit(1)
+	}
+}
+
+// buildAdmission constructs the -admission edge policy: nil (no
+// policing), a global token bucket, or per-tenant weighted fairness.
+// Router modes charge it once per external submission at the deployment
+// edge; the gateway polices before any member is contacted.
+func buildAdmission(name string, rate, burst float64, weights string) (dollymp.AdmissionPolicy, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "token-bucket":
+		if rate <= 0 {
+			return nil, fmt.Errorf("-admission token-bucket requires -admission-rate > 0")
+		}
+		return dollymp.NewTokenBucket(dollymp.TokenBucketConfig{Rate: rate, Burst: burst}), nil
+	case "fair":
+		w, err := dollymp.ParseWeights(weights)
+		if err != nil {
+			return nil, fmt.Errorf("-admission-weights: %w", err)
+		}
+		return dollymp.NewWeightedFair(dollymp.WeightedFairConfig{Weights: w, Burst: burst}), nil
+	default:
+		return nil, fmt.Errorf("unknown -admission policy %q (valid: none, token-bucket, fair)", name)
 	}
 }
 
@@ -195,8 +240,12 @@ func serveRouter(addr, schedName, fleetSpec string, router *dollymp.Router, cfg 
 			js.ReplayedPending, js.ReplayedJobs-js.ReplayedPending, js.TruncatedBytes)
 	}
 	router.Start()
-	fmt.Printf("dollympd: scheduler=%s fleet=%s shards=%d route=%s queue-cap=%d steal=%v\n",
-		schedName, fleetSpec, router.NumShards(), cfg.Policy, cfg.QueueCap, cfg.Steal)
+	admName := "none"
+	if cfg.Admission != nil {
+		admName = cfg.Admission.Name()
+	}
+	fmt.Printf("dollympd: scheduler=%s fleet=%s shards=%d route=%s queue-cap=%d steal=%v admission=%s\n",
+		schedName, fleetSpec, router.NumShards(), cfg.Policy, cfg.QueueCap, cfg.Steal, admName)
 
 	err := serveHTTP(addr, h, drainTO, func(ctx context.Context) error {
 		if err := router.Stop(ctx); err != nil {
@@ -219,8 +268,8 @@ func serveRouter(addr, schedName, fleetSpec string, router *dollymp.Router, cfg 
 			makespan = res.Makespan
 		}
 	}
-	fmt.Printf("dollympd: drained: %d submitted, %d completed, %d rejected, %d stolen, makespan %d slots\n",
-		c.Submitted, c.Completed, c.Rejected, router.Stolen(), makespan)
+	fmt.Printf("dollympd: drained: %d submitted, %d completed, %d rejected, %d denied, %d stolen, makespan %d slots\n",
+		c.Submitted, c.Completed, c.Rejected, c.Denied, router.Stolen(), makespan)
 	if done := router.Jobs(dollymp.JobFilter{State: service.StateCompleted}); len(done) > 0 {
 		flows := make([]float64, len(done))
 		var sum float64
@@ -237,7 +286,7 @@ func serveRouter(addr, schedName, fleetSpec string, router *dollymp.Router, cfg 
 
 // runGateway runs the stateless federation gateway: no scheduling loops,
 // just routing, federated views, and takeover over the manifest.
-func runGateway(addr, manifestPath string, drainTO time.Duration) error {
+func runGateway(addr, manifestPath string, adm dollymp.AdmissionPolicy, drainTO time.Duration) error {
 	if manifestPath == "" {
 		return fmt.Errorf("-gateway requires -manifest")
 	}
@@ -245,7 +294,7 @@ func runGateway(addr, manifestPath string, drainTO time.Duration) error {
 	if err != nil {
 		return err
 	}
-	gw, err := dollymp.NewGateway(dollymp.GatewayConfig{Manifest: man})
+	gw, err := dollymp.NewGateway(dollymp.GatewayConfig{Manifest: man, Admission: adm})
 	if err != nil {
 		return err
 	}

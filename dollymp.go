@@ -51,6 +51,8 @@ type (
 	ServerSpec = cluster.Spec
 	// Job is a DAG of phases.
 	Job = workload.Job
+	// JobID identifies a job across the simulator and the service.
+	JobID = workload.JobID
 	// Phase is one stage of a job.
 	Phase = workload.Phase
 	// Scheduler is any scheduling policy the simulator can drive.

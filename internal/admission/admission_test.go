@@ -1,0 +1,275 @@
+package admission
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"dollymp/internal/resources"
+	"dollymp/internal/workload"
+)
+
+func job(tenant string) *workload.Job {
+	return &workload.Job{Tenant: tenant}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("a=3,b=1.5, c=1")
+	if err != nil {
+		t.Fatalf("ParseWeights: %v", err)
+	}
+	want := map[string]float64{"a": 3, "b": 1.5, "c": 1}
+	if len(w) != len(want) {
+		t.Fatalf("got %v want %v", w, want)
+	}
+	for k, v := range want {
+		if w[k] != v {
+			t.Errorf("weight[%s] = %v, want %v", k, w[k], v)
+		}
+	}
+	if got, err := ParseWeights(""); err != nil || got == nil || len(got) != 0 {
+		t.Errorf("empty string: got %v, %v; want empty map, nil", got, err)
+	}
+	for _, bad := range []string{"a", "a=", "a=0", "a=-1", "a=x", "=2", "a=1,a=2"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Errorf("ParseWeights(%q): expected error", bad)
+		}
+	}
+}
+
+func TestFormatWeightsRoundTrip(t *testing.T) {
+	in := "a=3,b=1.5,c=1"
+	w, err := ParseWeights(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatWeights(w); got != in {
+		t.Errorf("FormatWeights = %q, want %q", got, in)
+	}
+}
+
+// TestTokenBucketDeterministic drives the bucket with a fake clock:
+// burst admits, then denies with an exact RetryAfter, then refills.
+func TestTokenBucketDeterministic(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(TokenBucketConfig{
+		Rate:  10, // 1 token per 100ms
+		Burst: 3,
+		Now:   func() time.Time { return now },
+	})
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if d := b.Admit(ctx, job(""), Snapshot{}); !d.Admit {
+			t.Fatalf("admit %d: denied (%+v)", i, d)
+		}
+	}
+	d := b.Admit(ctx, job(""), Snapshot{})
+	if d.Admit {
+		t.Fatal("4th admit should be denied: bucket empty")
+	}
+	if d.Reason != ReasonRateLimited {
+		t.Errorf("reason = %q, want %q", d.Reason, ReasonRateLimited)
+	}
+	if d.RetryAfter != 100*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 100ms (one token at rate 10/s)", d.RetryAfter)
+	}
+
+	// Advance exactly one token's worth: one admit, then empty again.
+	now = now.Add(100 * time.Millisecond)
+	if d := b.Admit(ctx, job(""), Snapshot{}); !d.Admit {
+		t.Fatalf("post-refill admit denied: %+v", d)
+	}
+	if d := b.Admit(ctx, job(""), Snapshot{}); d.Admit {
+		t.Fatal("bucket should be empty again")
+	}
+
+	// A long idle period must cap at Burst, not accumulate.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for b.Admit(ctx, job(""), Snapshot{}).Admit {
+		admitted++
+	}
+	if admitted != 3 {
+		t.Errorf("after long idle: admitted %d, want burst 3", admitted)
+	}
+
+	st := b.Stats()
+	if st.Policy != "token-bucket" || st.Admitted != 7 || st.Denied != 3 {
+		t.Errorf("stats = %+v, want policy token-bucket admitted 7 denied 3", st)
+	}
+}
+
+// TestWeightedFairSharesWithin10Pct is the acceptance property: under
+// saturated offered load from tenants with 4:1:1 weights, admitted
+// counts land within 10% of the weighted shares.
+func TestWeightedFairSharesWithin10Pct(t *testing.T) {
+	weights := map[string]float64{"heavy": 4, "light": 1, "tiny": 1}
+	f := NewWeightedFair(WeightedFairConfig{Weights: weights, Gate: -1})
+	ctx := context.Background()
+	pressured := Snapshot{QueueDepth: 100, QueueCap: 128}
+
+	// Round-robin saturated offered load: every tenant always has a job
+	// waiting, so admissions are allocated purely by policy.
+	admitted := map[string]int{}
+	const rounds = 3000
+	for i := 0; i < rounds; i++ {
+		for _, tn := range []string{"heavy", "light", "tiny"} {
+			if f.Admit(ctx, job(tn), pressured).Admit {
+				admitted[tn]++
+			}
+		}
+	}
+
+	total := admitted["heavy"] + admitted["light"] + admitted["tiny"]
+	if total == 0 {
+		t.Fatal("nothing admitted")
+	}
+	wsum := 6.0
+	for tn, w := range weights {
+		share := float64(admitted[tn]) / float64(total)
+		want := w / wsum
+		if math.Abs(share-want) > 0.10*want {
+			t.Errorf("tenant %s: share %.3f, want %.3f ±10%% (admitted %v)",
+				tn, share, want, admitted)
+		}
+	}
+
+	st := f.Stats()
+	if st.Policy != "fair" || st.Denied == 0 {
+		t.Errorf("stats = %+v: want policy fair with non-zero denials under saturation", st)
+	}
+	if st.Tenants["heavy"].Weight != 4 {
+		t.Errorf("heavy weight in stats = %v, want 4", st.Tenants["heavy"].Weight)
+	}
+}
+
+// TestWeightedFairGate: below the pressure gate everything is admitted;
+// above it the over-weight tenant is denied.
+func TestWeightedFairGate(t *testing.T) {
+	f := NewWeightedFair(WeightedFairConfig{
+		Weights: map[string]float64{"a": 1, "b": 1},
+	}) // Gate 0 -> default 0.5
+	ctx := context.Background()
+
+	idle := Snapshot{QueueDepth: 10, QueueCap: 128}
+	for i := 0; i < 200; i++ {
+		// Only "a" submits while idle: all admitted regardless of share.
+		if d := f.Admit(ctx, job("a"), idle); !d.Admit {
+			t.Fatalf("idle admit %d denied: %+v", i, d)
+		}
+	}
+
+	// Under pressure, with "b" active, "a" must be throttled to ~50%:
+	// its idle-time vt was clamped to the frontier, so it carries no
+	// banked credit and no debt.
+	pressured := Snapshot{QueueDepth: 100, QueueCap: 128}
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		for _, tn := range []string{"a", "b"} {
+			if f.Admit(ctx, job(tn), pressured).Admit {
+				counts[tn]++
+			}
+		}
+	}
+	if counts["b"] == 0 {
+		t.Fatal("tenant b starved")
+	}
+	ratio := float64(counts["a"]) / float64(counts["b"])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("equal-weight ratio a/b = %.3f (counts %v), want within [0.9, 1.1]", ratio, counts)
+	}
+}
+
+// TestWeightedFairUnknownCapacityEnforces: QueueCap==0 (stateless
+// gateway) means fairness is always on.
+func TestWeightedFairUnknownCapacityEnforces(t *testing.T) {
+	f := NewWeightedFair(WeightedFairConfig{Weights: map[string]float64{"a": 1, "b": 1}})
+	ctx := context.Background()
+	denied := 0
+	for i := 0; i < 100; i++ {
+		// a offers 4x b's load at equal weight: the excess must be
+		// denied even though the zero-cap snapshot reports no queue.
+		f.Admit(ctx, job("b"), Snapshot{})
+		for k := 0; k < 4; k++ {
+			if !f.Admit(ctx, job("a"), Snapshot{}).Admit {
+				denied++
+			}
+		}
+	}
+	if denied == 0 {
+		t.Error("zero-cap snapshot never enforced fairness on 4x-over-share tenant")
+	}
+}
+
+// TestWeightedFairLoneTenant: a single tenant is never denied by its
+// own frontier, even with fairness force-enabled.
+func TestWeightedFairLoneTenant(t *testing.T) {
+	f := NewWeightedFair(WeightedFairConfig{Gate: -1})
+	ctx := context.Background()
+	for i := 0; i < 500; i++ {
+		if d := f.Admit(ctx, job("solo"), Snapshot{QueueDepth: 100, QueueCap: 100}); !d.Admit {
+			t.Fatalf("lone tenant denied at %d: %+v", i, d)
+		}
+	}
+}
+
+// TestWeightedFairIdleTenantLeavesFrontier: a tenant that stops
+// submitting stops anchoring the frontier after the activity window, so
+// survivors are not throttled against a ghost.
+func TestWeightedFairIdleTenantLeavesFrontier(t *testing.T) {
+	f := NewWeightedFair(WeightedFairConfig{Gate: -1})
+	ctx := context.Background()
+	snap := Snapshot{QueueDepth: 100, QueueCap: 100}
+
+	// "ghost" admits once at vt near zero, then goes silent.
+	f.Admit(ctx, job("ghost"), snap)
+	// "live" keeps submitting; once the window passes, every job must
+	// be admitted again even though live.vt >> ghost.vt.
+	deniedAfterWindow := 0
+	for i := 0; i < activityWindow+200; i++ {
+		d := f.Admit(ctx, job("live"), snap)
+		if i > activityWindow && !d.Admit {
+			deniedAfterWindow++
+		}
+	}
+	if deniedAfterWindow != 0 {
+		t.Errorf("live tenant denied %d times after ghost idled out", deniedAfterWindow)
+	}
+}
+
+// TestWeightedFairPruneBounded: implicit tenants are evicted at the
+// table cap; explicit ones never are.
+func TestWeightedFairPruneBounded(t *testing.T) {
+	f := NewWeightedFair(WeightedFairConfig{
+		Weights:    map[string]float64{"keep": 2},
+		MaxTenants: 8,
+	})
+	ctx := context.Background()
+	for i := 0; i < 1000; i++ {
+		f.Admit(ctx, job(string(rune('a'+i%26))+string(rune('0'+i/26%10))), Snapshot{QueueDepth: 0, QueueCap: 128})
+	}
+	f.mu.Lock()
+	n := len(f.tenants)
+	_, kept := f.tenants["keep"]
+	f.mu.Unlock()
+	if n > 9 { // cap + at most one in-flight insert
+		t.Errorf("tenant table grew to %d, cap 8", n)
+	}
+	if !kept {
+		t.Error("explicitly weighted tenant was pruned")
+	}
+}
+
+func TestTenantValidateLength(t *testing.T) {
+	j := workload.SingleTask(1, 0, resources.Vec(1000, 2048), 10, 0)
+	j.Tenant = string(make([]byte, 65))
+	if err := j.Validate(); err == nil {
+		t.Error("65-byte tenant label should fail validation")
+	}
+	j.Tenant = string(make([]byte, 64))
+	if err := j.Validate(); err != nil {
+		t.Errorf("64-byte tenant label should pass: %v", err)
+	}
+}

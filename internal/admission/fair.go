@@ -1,0 +1,245 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dollymp/internal/workload"
+)
+
+// WeightedFairConfig parameterizes a WeightedFair policy.
+type WeightedFairConfig struct {
+	// Weights maps tenant name to relative share. Tenants absent from
+	// the map get DefaultWeight. Nil is a valid empty map.
+	Weights map[string]float64
+	// DefaultWeight applies to tenants without an explicit weight;
+	// values <= 0 become 1.
+	DefaultWeight float64
+	// Burst is the per-unit-weight slack: a tenant may run up to
+	// Burst/weight admissions ahead of the fair frontier before being
+	// denied. Values below 1 are raised to 1 (a tenant must always be
+	// able to take its first job). Larger bursts trade short-term skew
+	// for fewer denials under bursty arrivals.
+	Burst float64
+	// Gate is the pressure threshold as a fraction of queue capacity:
+	// fairness is enforced only while QueueDepth >= Gate*QueueCap.
+	// Zero means the default 0.5; negative means "always enforce"
+	// regardless of pressure. When a snapshot reports unknown capacity
+	// (QueueCap == 0, e.g. a stateless gateway), fairness is always
+	// enforced — the edge cannot tell when pressure has lifted.
+	Gate float64
+	// MaxTenants bounds the per-tenant state table; 0 means the default
+	// 4096. When the table is full, the least-recently-decided tenants
+	// without explicit weights are pruned.
+	MaxTenants int
+	// RetryAfter is the hint attached to denials; 0 means the default
+	// 50ms. Fair-share denials have no exact refill time (the frontier
+	// moves when OTHER tenants admit), so this is a pacing hint, not a
+	// promise.
+	RetryAfter time.Duration
+}
+
+const (
+	defaultFairGate       = 0.5
+	defaultFairMaxTenants = 4096
+	defaultFairRetryAfter = 50 * time.Millisecond
+	// activityWindow is the number of global admission decisions after
+	// which a silent tenant stops anchoring the fair frontier. Counted
+	// in decisions, not wall time, so behavior is deterministic.
+	activityWindow = 256
+)
+
+type fairTenant struct {
+	weight   float64
+	explicit bool
+	vt       float64 // virtual time: admitted work / weight
+	lastSeen int64   // global decision count at last Admit call
+	admitted int64
+	denied   int64
+}
+
+// WeightedFair admits jobs in proportion to per-tenant weights while
+// the deployment is under pressure, and admits everything when it is
+// not. It is a virtual-time weighted fair queue over admission slots:
+// each tenant carries vt = admitted/weight, and a job is admitted iff
+// its tenant's vt is within Burst/weight of the frontier — the minimum
+// vt among the other recently-active tenants. A heavier weight means a
+// smaller vt step per admit, so a weight-4 tenant takes four slots for
+// every one a weight-1 competitor takes before both touch the same
+// frontier. Three guards keep vt honest: a tenant entering (or
+// returning after the activity window) starts AT the frontier, so idle
+// time earns no credit; ungated admits cap vt one burst past the
+// frontier, so running ahead while the queue was empty banks only a
+// bounded debt; and a tenant silent for activityWindow decisions stops
+// anchoring the frontier, so a ghost cannot throttle the living.
+type WeightedFair struct {
+	defaultWeight float64
+	burst         float64
+	gate          float64
+	maxTenants    int
+	retryAfter    time.Duration
+
+	mu        sync.Mutex
+	tenants   map[string]*fairTenant
+	decisions int64 // global Admit-call counter, drives the activity window
+	admitted  int64
+	denied    int64
+}
+
+// NewWeightedFair builds a per-tenant weighted-fair admission policy.
+func NewWeightedFair(cfg WeightedFairConfig) *WeightedFair {
+	if cfg.DefaultWeight <= 0 {
+		cfg.DefaultWeight = 1
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	gate := cfg.Gate
+	if gate == 0 {
+		gate = defaultFairGate
+	}
+	maxTenants := cfg.MaxTenants
+	if maxTenants <= 0 {
+		maxTenants = defaultFairMaxTenants
+	}
+	retryAfter := cfg.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = defaultFairRetryAfter
+	}
+	f := &WeightedFair{
+		defaultWeight: cfg.DefaultWeight,
+		burst:         cfg.Burst,
+		gate:          gate,
+		maxTenants:    maxTenants,
+		retryAfter:    retryAfter,
+		tenants:       make(map[string]*fairTenant),
+	}
+	for name, w := range cfg.Weights {
+		if w <= 0 {
+			w = cfg.DefaultWeight
+		}
+		f.tenants[name] = &fairTenant{weight: w, explicit: true}
+	}
+	return f
+}
+
+// Name implements Policy.
+func (f *WeightedFair) Name() string { return "fair" }
+
+// Admit implements Policy. Jobs without a tenant label share the ""
+// tenant at the default weight.
+func (f *WeightedFair) Admit(_ context.Context, job *workload.Job, snap Snapshot) Decision {
+	tenant := ""
+	if job != nil {
+		tenant = job.Tenant
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	f.decisions++
+	t := f.tenants[tenant]
+	fresh := t != nil && f.decisions-t.lastSeen <= activityWindow
+	if t == nil {
+		if len(f.tenants) >= f.maxTenants {
+			f.prune()
+		}
+		t = &fairTenant{weight: f.defaultWeight}
+		f.tenants[tenant] = t
+	}
+
+	frontier, contested := f.minActiveVT(tenant)
+	// Entry lift: a tenant arriving (or returning after the activity
+	// window) starts at the frontier — idle time earns no credit
+	// against tenants that kept submitting. A continuously-active
+	// tenant is never lifted; its low vt from small 1/weight steps IS
+	// its weight advantage.
+	if !fresh && contested && t.vt < frontier {
+		t.vt = frontier
+	}
+	t.lastSeen = f.decisions
+
+	// Below the pressure gate the queue can absorb everyone: admit and
+	// keep the ledger current so fairness starts from true shares the
+	// moment pressure hits. Unknown capacity means unknown slack —
+	// enforce.
+	enforce := f.gate < 0 || snap.QueueCap == 0 ||
+		float64(snap.QueueDepth) >= f.gate*float64(snap.QueueCap)
+
+	if enforce && contested && t.vt > frontier+f.burst/t.weight {
+		t.denied++
+		f.denied++
+		return Decision{Reason: ReasonOverWeight, RetryAfter: f.retryAfter}
+	}
+
+	t.vt += 1 / t.weight
+	// Debt ceiling: an ungated admit must not push vt arbitrarily far
+	// past the frontier — a tenant that raced ahead while the queue was
+	// empty is throttled for at most one burst, not starved, when
+	// pressure arrives. (No-op on enforced admits, which the deny check
+	// already bounds.)
+	if ceil := frontier + (f.burst+1)/t.weight; contested && t.vt > ceil {
+		t.vt = ceil
+	}
+	t.admitted++
+	f.admitted++
+	return Decision{Admit: true}
+}
+
+// minActiveVT returns the lowest virtual time among recently-active
+// tenants other than `self`, and whether any exist — an uncontested
+// tenant is never denied (there is no one to be unfair to). Caller
+// holds f.mu.
+func (f *WeightedFair) minActiveVT(self string) (float64, bool) {
+	min, found := 0.0, false
+	for name, t := range f.tenants {
+		if name == self || f.decisions-t.lastSeen > activityWindow {
+			continue
+		}
+		if !found || t.vt < min {
+			min, found = t.vt, true
+		}
+	}
+	return min, found
+}
+
+// prune evicts the stalest implicit-weight tenants to make room.
+// Explicitly-weighted tenants are configuration and never evicted.
+// Caller holds f.mu.
+func (f *WeightedFair) prune() {
+	for name, t := range f.tenants {
+		if !t.explicit && f.decisions-t.lastSeen > activityWindow {
+			delete(f.tenants, name)
+		}
+	}
+	if len(f.tenants) < f.maxTenants {
+		return
+	}
+	// Still full: drop the single stalest implicit tenant so the table
+	// cannot grow without bound even under a constant churn of names.
+	var victim string
+	var victimSeen int64
+	for name, t := range f.tenants {
+		if t.explicit {
+			continue
+		}
+		if victim == "" || t.lastSeen < victimSeen {
+			victim, victimSeen = name, t.lastSeen
+		}
+	}
+	if victim != "" {
+		delete(f.tenants, victim)
+	}
+}
+
+// Stats implements Policy.
+func (f *WeightedFair) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tenants := make(map[string]TenantStats, len(f.tenants))
+	for name, t := range f.tenants {
+		tenants[name] = TenantStats{Admitted: t.admitted, Denied: t.denied, Weight: t.weight}
+	}
+	return Stats{Policy: f.Name(), Admitted: f.admitted, Denied: f.denied, Tenants: tenants}
+}

@@ -1,0 +1,115 @@
+package federation
+
+// Envelope parity for the admission surface: the gateway serves its
+// route table through the same MuxFor the members use, so a client must
+// not be able to tell from an error response which side of the
+// deployment it hit. This pins the 404/405 parity (status, envelope
+// code, and the byte-identical sorted Allow header) for /v1/admission,
+// and the federated GET view itself.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"dollymp/internal/service"
+)
+
+// doMethod issues a bodyless request and returns the response with its
+// body drained (so envelope decoding happens once, here).
+func doMethod(t *testing.T, method, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestGatewayMemberAdmissionParity(t *testing.T) {
+	base := t.TempDir()
+	g, members := newFederation(t,
+		[]string{filepath.Join(base, "a"), filepath.Join(base, "b")},
+		[][]int{{0, 1}, {2, 3}}, 4)
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+	defer func() {
+		for _, m := range members {
+			m.srv.Close()
+			stopRouter(t, m.r)
+		}
+	}()
+	surfaces := []struct{ name, url string }{
+		{"gateway", gsrv.URL},
+		{"member", members[0].srv.URL},
+	}
+
+	// GET answers 200 with a policy name on both sides ("none" here —
+	// neither the members nor the gateway run a policy).
+	for _, s := range surfaces {
+		resp, body := doMethod(t, http.MethodGet, s.url+"/v1/admission")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s GET /v1/admission: %d %s", s.name, resp.StatusCode, body)
+		}
+		var st service.AdmissionStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("%s admission view: %v", s.name, err)
+		}
+		if st.Policy != "none" || st.Denied != 0 {
+			t.Fatalf("%s admission view: %+v", s.name, st)
+		}
+	}
+
+	// A write is a 405 with the same envelope code and the same sorted
+	// Allow header on both sides; an unknown subpath is the same
+	// envelope 404. Compare the two sides field by field.
+	type answer struct {
+		status int
+		code   string
+		allow  string
+	}
+	probe := func(surfaceURL, method, path string) answer {
+		t.Helper()
+		resp, body := doMethod(t, method, surfaceURL+path)
+		var er service.ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" || er.Error.Message == "" {
+			t.Fatalf("%s %s: not envelope-shaped (%v): %s", method, path, err, body)
+		}
+		return answer{resp.StatusCode, er.Error.Code, resp.Header.Get("Allow")}
+	}
+	for _, tc := range []struct {
+		method, path string
+		want         answer
+	}{
+		{http.MethodDelete, "/v1/admission",
+			answer{http.StatusMethodNotAllowed, service.CodeMethodNotAllowed, "GET"}},
+		{http.MethodPost, "/v1/admission",
+			answer{http.StatusMethodNotAllowed, service.CodeMethodNotAllowed, "GET"}},
+		{http.MethodGet, "/v1/admission/nope",
+			answer{http.StatusNotFound, service.CodeNotFound, ""}},
+	} {
+		gw := probe(gsrv.URL, tc.method, tc.path)
+		mb := probe(members[0].srv.URL, tc.method, tc.path)
+		if gw != tc.want {
+			t.Errorf("gateway %s %s: %+v, want %+v", tc.method, tc.path, gw, tc.want)
+		}
+		if mb != tc.want {
+			t.Errorf("member %s %s: %+v, want %+v", tc.method, tc.path, mb, tc.want)
+		}
+		if gw != mb {
+			t.Errorf("%s %s: gateway answered %+v, member %+v", tc.method, tc.path, gw, mb)
+		}
+	}
+}

@@ -18,9 +18,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dollymp/internal/admission"
 	"dollymp/internal/service"
+	"dollymp/internal/trace"
 )
 
 // Gateway defaults.
@@ -45,6 +48,15 @@ type GatewayConfig struct {
 	FailThreshold int
 	// ClientTimeout bounds proxied member requests; 0 means 30s.
 	ClientTimeout time.Duration
+	// Admission, when non-nil, polices submissions at the gateway — the
+	// federation's outermost edge — before any member is contacted. The
+	// gateway is stateless and owns no queue, so the policy sees a zero
+	// Snapshot (QueueCap 0 = unknown capacity, which pressure-gated
+	// policies treat as always-enforce). A batch is all-or-nothing
+	// here: if any job in it is denied, the whole batch is refused and
+	// nothing is forwarded. Members may run their own policies too;
+	// decisions then stack, outermost first.
+	Admission admission.Policy
 }
 
 // memberState is the gateway's view of one member. Guarded by g.mu.
@@ -69,6 +81,8 @@ type Gateway struct {
 	mu      sync.Mutex
 	members []*memberState
 	rr      int // round-robin submit cursor
+
+	denied atomic.Int64 // submissions refused by cfg.Admission
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -162,6 +176,7 @@ func (g *Gateway) Handler() http.Handler {
 		{Method: "GET", Pattern: "/v1/shards", Handler: g.shards},
 		{Method: "GET", Pattern: "/v1/cluster", Handler: g.cluster},
 		{Method: "GET", Pattern: "/v1/status", Handler: g.cluster},
+		{Method: "GET", Pattern: "/v1/admission", Handler: g.admission},
 		{Method: "GET", Pattern: "/v1/federation", Handler: g.federation},
 		{Method: "GET", Pattern: "/healthz", Handler: g.health},
 		{Method: "GET", Pattern: "/readyz", Handler: g.ready},
@@ -169,11 +184,16 @@ func (g *Gateway) Handler() http.Handler {
 	})
 }
 
-// passThrough copies a member response to the client verbatim.
+// passThrough copies a member response to the client verbatim,
+// including the Retry-After a member 429 carries — dropping it would
+// strip the backoff contract from every proxied rejection.
 func passThrough(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
@@ -189,6 +209,35 @@ func (g *Gateway) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		service.WriteError(w, http.StatusBadRequest, service.CodeInvalidArgument, fmt.Sprintf("read body: %v", err))
 		return
+	}
+	if p := g.cfg.Admission; p != nil {
+		// Edge admission before any member sees the batch. The body is
+		// forwarded raw, so a batch cannot be split here: the first
+		// denial refuses all of it and nothing is submitted (IDs empty,
+		// Rejected = batch size) — the client retries the whole batch.
+		jobs, err := trace.DecodeSubmission(body)
+		if err != nil {
+			service.WriteError(w, http.StatusBadRequest, service.CodeInvalidArgument, err.Error())
+			return
+		}
+		for _, j := range jobs {
+			d := p.Admit(r.Context(), j, admission.Snapshot{})
+			if d.Admit {
+				continue
+			}
+			g.denied.Add(int64(len(jobs)))
+			service.SetRetryAfter(w, d.RetryAfter)
+			writeJSON(w, http.StatusTooManyRequests, service.ErrorResponse{
+				Error: service.APIError{
+					Code:         service.CodeAdmissionDenied,
+					Message:      service.ErrAdmissionDenied.Error(),
+					Reason:       d.Reason,
+					RetryAfterMS: d.RetryAfter.Milliseconds(),
+				},
+				Rejected: len(jobs),
+			})
+			return
+		}
 	}
 	live := g.aliveMembers(true)
 	for _, m := range live {
@@ -422,6 +471,41 @@ func (g *Gateway) cluster(w http.ResponseWriter, r *http.Request) {
 	}
 	if capMem > 0 {
 		agg.UtilizationMem = float64(usedMem) / float64(capMem)
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// admission federates GET /v1/admission: member views are summed
+// (policy names join with "+" when members disagree) and the gateway's
+// own edge policy, if any, is folded in on top — so the response
+// reflects every decision point a submission can hit.
+func (g *Gateway) admission(w http.ResponseWriter, r *http.Request) {
+	agg := service.AdmissionStatus{Policy: "none"}
+	n, rl, err := g.fanOut("/v1/admission", func(_ *memberState, body []byte) error {
+		var st service.AdmissionStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return err
+		}
+		agg.Add(st)
+		return nil
+	})
+	if err != nil {
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, err.Error())
+		return
+	}
+	if n == 0 {
+		if rl != nil {
+			rl.write(w)
+			return
+		}
+		service.WriteError(w, http.StatusBadGateway, service.CodeUnavailable, "no live member reachable")
+		return
+	}
+	if p := g.cfg.Admission; p != nil {
+		stats := p.Stats()
+		own := service.AdmissionStatus{Policy: p.Name(), Denied: g.denied.Load(), Stats: &stats}
+		own.Add(agg)
+		agg = own
 	}
 	writeJSON(w, http.StatusOK, agg)
 }

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"dollymp/internal/trace"
 	"dollymp/internal/workload"
@@ -27,8 +29,8 @@ import (
 const MaxBodyBytes = 16 << 20
 
 // Error codes carried in the error envelope. Clients must treat unknown
-// codes as non-retryable; CodeQueueFull and CodeUnavailable are the
-// only retryable codes.
+// codes as non-retryable; CodeQueueFull, CodeAdmissionDenied, and
+// CodeUnavailable are the only retryable codes.
 const (
 	CodeInvalidArgument  = "invalid_argument"
 	CodeNotFound         = "not_found"
@@ -36,6 +38,11 @@ const (
 	CodeDraining         = "draining"
 	CodeInternal         = "internal"
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeAdmissionDenied: the edge admission policy refused the job
+	// before it reached the queue (429, with Retry-After and a
+	// machine-readable reason). Retryable — the deny is about NOW, not
+	// about the job.
+	CodeAdmissionDenied = "admission_denied"
 	// CodeNotReady: the daemon is up but not yet serving (journal
 	// replay in progress, scheduling loops not started) — /readyz only.
 	CodeNotReady = "not_ready"
@@ -53,6 +60,15 @@ const (
 type APIError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Reason refines a 429: the admission policy's denial reason
+	// (admission.Reason*). Empty on every other error, and on
+	// queue_full — backpressure needs no refinement.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterMS is the server's retry hint in milliseconds — the
+	// precise form of the Retry-After header, whose integer-seconds
+	// granularity is too coarse for sub-second backoff. 0 means no
+	// hint.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // ErrorResponse is the uniform error envelope every non-2xx /v1
@@ -81,6 +97,8 @@ type API interface {
 	Snapshot() ClusterSnapshot
 	// Shards returns per-scheduling-loop status, one entry per shard.
 	Shards() []ShardStatus
+	// Admission returns the edge-admission policy view (/v1/admission).
+	Admission() AdmissionStatus
 	// Draining reports whether a drain has begun anywhere.
 	Draining() bool
 	// Ready reports whether the deployment is fully serving: journal
@@ -97,8 +115,13 @@ type API interface {
 var _ API = (*Service)(nil)
 
 // Route is one entry of the HTTP surface: method, Go 1.22 mux pattern,
-// and handler. Routes returns the full table — the only place paths and
-// methods are declared.
+// and handler. Routes declares the shared /v1 table; callers with
+// endpoints of their own extend it through NewHandler's `extra ...Route`
+// variadic rather than mounting a second mux, so every route — shared or
+// extra — gets the same envelope 404/405 treatment. Today's extras: the
+// federation member adds POST /v1/federation/adopt, and the gateway
+// builds its own table (this one plus GET /v1/federation) directly via
+// MuxFor.
 type Route struct {
 	Method  string
 	Pattern string
@@ -108,11 +131,12 @@ type Route struct {
 // Routes returns the API's route table:
 //
 //	POST /v1/jobs      submit one job, or a v1 trace file of jobs
-//	GET  /v1/jobs      list jobs (?state=, ?limit=, ?offset=)
+//	GET  /v1/jobs      list jobs (?state=, ?tenant=, ?limit=, ?offset=)
 //	GET  /v1/jobs/{id} one job's lifecycle record
 //	GET  /v1/shards    per-shard queue/clock/accounting status
 //	GET  /v1/cluster   aggregated cluster + queue snapshot
 //	GET  /v1/status    alias of /v1/cluster (federated by the gateway)
+//	GET  /v1/admission edge-admission policy and decision accounting
 //	GET  /healthz      liveness (503 once draining or failed)
 //	GET  /readyz       readiness (503 until replay done and loops up)
 //	GET  /metrics      Prometheus text exposition
@@ -125,6 +149,7 @@ func Routes(api API) []Route {
 		{"GET", "/v1/shards", h.shards},
 		{"GET", "/v1/cluster", h.cluster},
 		{"GET", "/v1/status", h.cluster},
+		{"GET", "/v1/admission", h.admission},
 		{"GET", "/healthz", h.health},
 		{"GET", "/readyz", h.ready},
 		{"GET", "/metrics", h.metrics},
@@ -158,8 +183,12 @@ func MuxFor(routes []Route) http.Handler {
 	}
 	for _, pattern := range paths {
 		// The method-less registration is only reachable by methods no
-		// method-qualified pattern on the same path claims.
-		allow := strings.Join(byPath[pattern], ", ")
+		// method-qualified pattern on the same path claims. Allow is
+		// sorted so the header is deterministic regardless of route-table
+		// order — clients and tests may compare it literally.
+		methods := append([]string(nil), byPath[pattern]...)
+		sort.Strings(methods)
+		allow := strings.Join(methods, ", ")
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", allow)
 			WriteError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
@@ -202,6 +231,25 @@ const (
 	MaxJobsLimit     = 1000
 )
 
+// DefaultQueueFullRetry is the retry hint attached to queue-full 429s.
+// A bounded queue under drain frees space in milliseconds, so the hint
+// is small; the precise value rides in retry_after_ms while the
+// Retry-After header rounds up to whole seconds.
+const DefaultQueueFullRetry = 25 * time.Millisecond
+
+// SetRetryAfter stamps the standard Retry-After header from a duration
+// hint, rounding up to whole seconds (the header's granularity; the
+// envelope's retry_after_ms carries the precise value). A zero or
+// negative hint still writes "0" — the header's presence is the 429
+// contract. Exported for the federation gateway's own 429s.
+func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(0)
+	if d > 0 {
+		secs = int64((d + time.Second - 1) / time.Second)
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -235,12 +283,29 @@ func (h handler) submit(w http.ResponseWriter, r *http.Request) {
 	ids := make([]workload.JobID, 0, len(jobs))
 	for i, j := range jobs {
 		id, err := h.api.SubmitNowait(j)
+		var denied *AdmissionError
 		switch {
 		case err == nil:
 			ids = append(ids, id)
 		case errors.Is(err, ErrQueueFull):
+			SetRetryAfter(w, DefaultQueueFullRetry)
 			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
-				Error:    APIError{Code: CodeQueueFull, Message: err.Error()},
+				Error: APIError{
+					Code: CodeQueueFull, Message: err.Error(),
+					RetryAfterMS: DefaultQueueFullRetry.Milliseconds(),
+				},
+				IDs:      ids,
+				Rejected: len(jobs) - i,
+			})
+			return
+		case errors.As(err, &denied):
+			SetRetryAfter(w, denied.RetryAfter)
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+				Error: APIError{
+					Code: CodeAdmissionDenied, Message: err.Error(),
+					Reason:       denied.Reason,
+					RetryAfterMS: denied.RetryAfter.Milliseconds(),
+				},
 				IDs:      ids,
 				Rejected: len(jobs) - i,
 			})
@@ -275,6 +340,7 @@ func (h handler) listJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		f.State = JobState(st)
 	}
+	f.Tenant = q.Get("tenant")
 	limit, err := queryInt(q.Get("limit"), DefaultJobsLimit)
 	if err != nil || limit < 1 {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("bad limit %q", q.Get("limit")))
@@ -329,6 +395,10 @@ func (h handler) shards(w http.ResponseWriter, r *http.Request) {
 
 func (h handler) cluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.api.Snapshot())
+}
+
+func (h handler) admission(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.api.Admission())
 }
 
 func (h handler) health(w http.ResponseWriter, r *http.Request) {

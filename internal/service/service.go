@@ -31,7 +31,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dollymp/internal/admission"
 	"dollymp/internal/cluster"
 	"dollymp/internal/journal"
 	"dollymp/internal/metrics"
@@ -47,6 +49,35 @@ var ErrQueueFull = errors.New("service: admission queue full")
 // ErrStopped is returned by Submit after Stop has begun: the service is
 // draining and accepts no new work.
 var ErrStopped = errors.New("service: stopped")
+
+// ErrAdmissionDenied is the sentinel every *AdmissionError unwraps to:
+// the edge admission policy refused the job before it reached the
+// queue. Unlike ErrQueueFull this is a policy decision, not a capacity
+// fact — the HTTP layer maps it to 429 admission_denied so clients can
+// distinguish "the system chose not to take you" from "the queue is
+// physically full".
+var ErrAdmissionDenied = errors.New("service: admission denied")
+
+// AdmissionError carries the policy's denial verdict: the
+// machine-readable reason and the server's retry hint, both surfaced in
+// the HTTP error envelope. It unwraps to ErrAdmissionDenied.
+type AdmissionError struct {
+	// Reason is the policy's denial reason (admission.Reason*).
+	Reason string
+	// RetryAfter is the server's hint for when retrying is worth it;
+	// zero means immediately.
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	if e.Reason == "" {
+		return ErrAdmissionDenied.Error()
+	}
+	return fmt.Sprintf("%s (%s)", ErrAdmissionDenied.Error(), e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrAdmissionDenied) work.
+func (e *AdmissionError) Unwrap() error { return ErrAdmissionDenied }
 
 // ErrNotDrained is returned by Result while the scheduling loop is
 // still running — a Stop whose context expired leaves the loop alive,
@@ -95,6 +126,17 @@ type Config struct {
 	// the durability contract is broken, and failing loudly beats
 	// acknowledging submissions it can no longer promise to keep.
 	Journal *journal.Journal
+
+	// Admission, when non-nil, is consulted before a submission may
+	// enter the queue: a denial is returned as *AdmissionError (HTTP
+	// 429 admission_denied) without assigning an ID or touching the
+	// queue. Only external submissions are policed — the donation and
+	// replay paths (StealQueued/InjectQueued/ForceRequeue/Restore/
+	// Absorb) move work that was already admitted somewhere and bypass
+	// the policy. In a sharded deployment the router owns the policy
+	// instead, so a deployment-wide decision is charged once, not once
+	// per spill attempt; set this only on a directly-driven service.
+	Admission admission.Policy
 }
 
 // DefaultQueueCap is the admission-queue bound when Config.QueueCap is 0.
@@ -124,10 +166,13 @@ func ValidState(s JobState) bool {
 // JobInfo is the externally visible record of one submitted job. Slot
 // fields are -1 until the lifecycle reaches them.
 type JobInfo struct {
-	ID         workload.JobID `json:"id"`
-	Name       string         `json:"name"`
-	App        string         `json:"app"`
-	State      JobState       `json:"state"`
+	ID   workload.JobID `json:"id"`
+	Name string         `json:"name"`
+	App  string         `json:"app"`
+	// Tenant is the submitter label the job carried, if any — the key
+	// per-tenant admission decisions and ?tenant= filters use.
+	Tenant     string   `json:"tenant,omitempty"`
+	State      JobState `json:"state"`
 	Tasks      int            `json:"tasks"`
 	Arrival    int64          `json:"arrival_slot"`
 	FirstStart int64          `json:"first_start_slot"`
@@ -141,6 +186,10 @@ type JobInfo struct {
 type JobFilter struct {
 	// State keeps only jobs in that lifecycle state; empty keeps all.
 	State JobState
+	// Tenant keeps only jobs with that tenant label; empty keeps all.
+	// (There is no way to select specifically tenant-less jobs — the
+	// empty string means "no filter", matching ?tenant= semantics.)
+	Tenant string
 }
 
 // Counts summarizes the service's job accounting.
@@ -149,6 +198,10 @@ type Counts struct {
 	Admitted  int64 `json:"admitted"`
 	Completed int64 `json:"completed"`
 	Rejected  int64 `json:"rejected"`
+	// Denied counts submissions refused by the edge admission policy
+	// (never assigned an ID); Rejected counts queue-full backpressure.
+	// omitempty keeps policy-less deployments' JSON unchanged.
+	Denied int64 `json:"denied,omitempty"`
 }
 
 // Add accumulates other into c (the router sums per-shard counts).
@@ -157,6 +210,7 @@ func (c *Counts) Add(other Counts) {
 	c.Admitted += other.Admitted
 	c.Completed += other.Completed
 	c.Rejected += other.Rejected
+	c.Denied += other.Denied
 }
 
 // Load is a shard's routing signal: how much accepted-but-unfinished
@@ -296,6 +350,10 @@ type Service struct {
 	mAdmitted  *metrics.Counter
 	mCompleted *metrics.Counter
 	mRejected  *metrics.Counter
+	// mDenied is nil unless cfg.Admission is set (registering it
+	// unconditionally would change the exposition of policy-less
+	// deployments); only the admission-deny path increments it.
+	mDenied *metrics.Counter
 	mQueue     *metrics.Gauge
 	mActive    *metrics.Gauge
 	mClock     *metrics.Gauge
@@ -362,6 +420,9 @@ func New(cfg Config) (*Service, error) {
 		s.mJnlRecords = s.reg.Counter("dollymp_journal_records_total", "Journal records appended by this process.", lbl(nil))
 		s.mJnlReplayed = s.reg.Gauge("dollymp_journal_replayed_jobs", "Jobs restored from the journal at startup.", lbl(nil))
 	}
+	if cfg.Admission != nil {
+		s.mDenied = s.reg.Counter("dollymp_jobs_denied_total", "Submissions denied by the edge admission policy.", lbl(nil))
+	}
 
 	eng, err := sim.New(sim.Config{
 		Cluster:       cfg.Cluster,
@@ -410,6 +471,9 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 // drain begins. Use SubmitNowait for immediate-backpressure (429)
 // semantics.
 func (s *Service) Submit(ctx context.Context, j *workload.Job) (workload.JobID, error) {
+	if err := s.precheck(ctx, j); err != nil {
+		return 0, err
+	}
 	for {
 		// Grab the admission broadcast channel before trying: any admit
 		// after this point closes admitCh, so a full-queue failure below
@@ -438,16 +502,41 @@ func (s *Service) Submit(ctx context.Context, j *workload.Job) (workload.JobID, 
 // enqueue happen under one critical section, so a job accepted here is
 // always seen by the drain — Stop never strands an accepted job.
 func (s *Service) SubmitNowait(j *workload.Job) (workload.JobID, error) {
+	if err := s.precheck(context.Background(), j); err != nil {
+		return 0, err
+	}
 	return s.submit(j, true)
 }
 
-func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, error) {
+// precheck runs the validations that precede any queue interaction:
+// structural job validation, then the admission policy. The policy is
+// charged exactly once per external submission attempt — Submit's
+// queue-space retry loop below calls submit directly, so waiting out a
+// full queue does not burn extra admission budget.
+func (s *Service) precheck(ctx context.Context, j *workload.Job) error {
 	if j == nil {
-		return 0, fmt.Errorf("service: nil job")
+		return fmt.Errorf("service: nil job")
 	}
 	if err := j.Validate(); err != nil {
-		return 0, fmt.Errorf("service: %w", err)
+		return fmt.Errorf("service: %w", err)
 	}
+	p := s.cfg.Admission
+	if p == nil {
+		return nil
+	}
+	if d := p.Admit(ctx, j, s.AdmissionSnapshot()); !d.Admit {
+		s.mu.Lock()
+		s.counts.Denied++
+		s.mDenied.Inc()
+		s.mu.Unlock()
+		return &AdmissionError{Reason: d.Reason, RetryAfter: d.RetryAfter}
+	}
+	return nil
+}
+
+// submit assigns an ID and enqueues a prechecked job. Callers must have
+// run precheck first.
+func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, error) {
 	s.mu.Lock()
 	if s.stopping {
 		s.mu.Unlock()
@@ -458,7 +547,7 @@ func (s *Service) submit(j *workload.Job, countReject bool) (workload.JobID, err
 	j.ID = id
 	j.Arrival = 0 // clamped to the live clock at injection
 	info := &JobInfo{
-		ID: id, Name: j.Name, App: j.App, State: StateQueued,
+		ID: id, Name: j.Name, App: j.App, Tenant: j.Tenant, State: StateQueued,
 		Tasks: j.TotalTasks(), Arrival: -1, FirstStart: -1, Finish: -1, Flowtime: -1,
 	}
 	if len(s.subCh) == cap(s.subCh) {
@@ -926,6 +1015,9 @@ func (s *Service) Jobs(f JobFilter) []JobInfo {
 		if f.State != "" && info.State != f.State {
 			continue
 		}
+		if f.Tenant != "" && info.Tenant != f.Tenant {
+			continue
+		}
 		out = append(out, *info)
 	}
 	s.mu.RUnlock()
@@ -954,6 +1046,90 @@ func (s *Service) Load() Load {
 		Jobs:       s.counts.Submitted - s.counts.Completed,
 		Tasks:      s.tasksOut,
 	}
+}
+
+// AdmissionSnapshot implements admission.SnapshotProvider: the pressure
+// view fed to the edge policy at decision time. Queue depth, cap, and
+// the loop's last published engine state are read under one critical
+// section.
+func (s *Service) AdmissionSnapshot() admission.Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return admission.Snapshot{
+		QueueDepth:      len(s.subCh),
+		QueueCap:        cap(s.subCh),
+		ActiveJobs:      s.snap.ActiveJobs,
+		Clock:           s.clock,
+		PendingArrivals: s.snap.PendingArrival,
+	}
+}
+
+// AdmissionStatus is the /v1/admission response: which edge policy
+// guards the queue and its cumulative decision accounting.
+type AdmissionStatus struct {
+	// Policy names the active policy; "none" when submissions are
+	// unpoliced.
+	Policy string `json:"policy"`
+	// Denied counts submissions this endpoint refused by policy (same
+	// number as Counts.Denied).
+	Denied int64 `json:"denied"`
+	// Stats is the policy's own accounting (per-tenant breakdown for
+	// fair policies); absent when Policy is "none".
+	Stats *admission.Stats `json:"stats,omitempty"`
+}
+
+// Add folds another endpoint's status into a (the gateway sums member
+// views; policy names join with "+" when they differ).
+func (a *AdmissionStatus) Add(other AdmissionStatus) {
+	if a.Policy != other.Policy {
+		if a.Policy == "" || a.Policy == "none" {
+			a.Policy = other.Policy
+		} else if other.Policy != "" && other.Policy != "none" {
+			a.Policy += "+" + other.Policy
+		}
+	}
+	a.Denied += other.Denied
+	if other.Stats == nil {
+		return
+	}
+	if a.Stats == nil {
+		merged := *other.Stats
+		a.Stats = &merged
+		if other.Stats.Tenants != nil {
+			a.Stats.Tenants = make(map[string]admission.TenantStats, len(other.Stats.Tenants))
+			for k, v := range other.Stats.Tenants {
+				a.Stats.Tenants[k] = v
+			}
+		}
+		return
+	}
+	a.Stats.Admitted += other.Stats.Admitted
+	a.Stats.Denied += other.Stats.Denied
+	for k, v := range other.Stats.Tenants {
+		if a.Stats.Tenants == nil {
+			a.Stats.Tenants = make(map[string]admission.TenantStats)
+		}
+		t := a.Stats.Tenants[k]
+		t.Admitted += v.Admitted
+		t.Denied += v.Denied
+		t.Weight = v.Weight
+		a.Stats.Tenants[k] = t
+	}
+}
+
+// Admission returns the edge-admission view for /v1/admission. Part of
+// the API interface shared with the shard router and the gateway.
+func (s *Service) Admission() AdmissionStatus {
+	st := AdmissionStatus{Policy: "none"}
+	if p := s.cfg.Admission; p != nil {
+		stats := p.Stats()
+		st.Policy = p.Name()
+		st.Stats = &stats
+	}
+	s.mu.RLock()
+	st.Denied = s.counts.Denied
+	s.mu.RUnlock()
+	return st
 }
 
 // Draining reports whether a drain has begun (Stop called or the loop

@@ -1,0 +1,145 @@
+package shard
+
+// Edge-admission tests at the router boundary. The acceptance check for
+// the pluggable-admission redesign lives here: a skewed overload run
+// against a weighted-fair policy must admit per-tenant counts within
+// 10% of the configured weights, while the same overload against a
+// policy-free router degrades by queue_full — the before/after contrast
+// that justifies putting a policy in front of the queue at all.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dollymp/internal/admission"
+	"dollymp/internal/cluster"
+	"dollymp/internal/resources"
+	"dollymp/internal/service"
+	"dollymp/internal/workload"
+)
+
+func tenantJob(tenant string) *workload.Job {
+	j := testJob(1, 2)
+	j.Tenant = tenant
+	return j
+}
+
+// TestRouterFairAdmissionSharesWithin10Pct: two tenants offer equal
+// load (far beyond light's fair share) into a fair-admission router.
+// The router is deliberately not started, so nothing drains: every
+// decision is the policy's, none the queue's. Admitted counts must
+// land within 10% of the 4:1 weights, denials must be typed
+// *service.AdmissionError carrying the machine-readable reason and a
+// retry hint, and the router's /v1/admission accounting must agree
+// with what the submitters observed.
+func TestRouterFairAdmissionSharesWithin10Pct(t *testing.T) {
+	weights := map[string]float64{"heavy": 4, "light": 1}
+	r, err := New(Config{
+		Fleet:         cluster.Uniform(8, resources.Cores(8, 16)),
+		Shards:        2,
+		NewScheduler:  newFifo,
+		Seed:          1,
+		Deterministic: true,
+		QueueCap:      4096,
+		Policy:        RouteP2C,
+		Admission: admission.NewWeightedFair(admission.WeightedFairConfig{
+			Weights: weights,
+			Gate:    -1, // always enforce: this test is about shares, not the pressure gate
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const offered = 1000 // per tenant, interleaved
+	admitted := map[string]int{}
+	denied := map[string]int{}
+	var sawTyped bool
+	for i := 0; i < offered; i++ {
+		for _, tn := range []string{"heavy", "light"} {
+			_, err := r.SubmitNowait(tenantJob(tn))
+			switch {
+			case err == nil:
+				admitted[tn]++
+			case errors.Is(err, ErrAdmissionDenied):
+				denied[tn]++
+				var ae *service.AdmissionError
+				if !errors.As(err, &ae) {
+					t.Fatalf("denial is not *service.AdmissionError: %v", err)
+				}
+				if ae.Reason != admission.ReasonOverWeight {
+					t.Fatalf("denial reason %q, want %q", ae.Reason, admission.ReasonOverWeight)
+				}
+				if ae.RetryAfter <= 0 {
+					t.Fatalf("denial without a retry hint: %+v", ae)
+				}
+				sawTyped = true
+			default:
+				t.Fatalf("tenant %s submit %d: %v", tn, i, err)
+			}
+		}
+	}
+	if !sawTyped {
+		t.Fatal("equal offered load at 4:1 weights produced no denials")
+	}
+
+	total := admitted["heavy"] + admitted["light"]
+	wsum := weights["heavy"] + weights["light"]
+	for tn, w := range weights {
+		wantShare := w / wsum
+		gotShare := float64(admitted[tn]) / float64(total)
+		if math.Abs(gotShare-wantShare) > 0.1*wantShare {
+			t.Errorf("tenant %s admitted share %.3f, want %.3f ±10%% (admitted %v, denied %v)",
+				tn, gotShare, wantShare, admitted, denied)
+		}
+	}
+
+	// The router's view must match the submitters' ledger exactly.
+	st := r.Admission()
+	if st.Policy != "fair" {
+		t.Fatalf("policy %q, want fair", st.Policy)
+	}
+	if want := int64(denied["heavy"] + denied["light"]); st.Denied != want {
+		t.Fatalf("router denied %d, submitters saw %d", st.Denied, want)
+	}
+	if st.Stats == nil {
+		t.Fatal("fair policy reported no stats")
+	}
+	for tn := range weights {
+		ts := st.Stats.Tenants[tn]
+		if ts.Admitted != int64(admitted[tn]) || ts.Denied != int64(denied[tn]) {
+			t.Errorf("tenant %s stats %+v, submitters saw %d admitted / %d denied",
+				tn, ts, admitted[tn], denied[tn])
+		}
+	}
+}
+
+// TestRouterNoPolicyBaselineQueueFull is the contrast case: the same
+// overload against a router with no admission policy runs straight
+// into queue backpressure — ErrQueueFull, never ErrAdmissionDenied —
+// and the admission view reports no policy and no denials.
+func TestRouterNoPolicyBaselineQueueFull(t *testing.T) {
+	r := newTestRouter(t, 2, 1, RouteP2C)
+	var full int
+	for i := 0; i < 16; i++ {
+		_, err := r.SubmitNowait(tenantJob("light"))
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrAdmissionDenied) {
+			t.Fatalf("no policy configured, yet submit %d was admission-denied: %v", i, err)
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("submit %d: %v, want ErrQueueFull", i, err)
+		}
+		full++
+	}
+	if full == 0 {
+		t.Fatal("overload on a cap-1 deployment never hit queue_full")
+	}
+	st := r.Admission()
+	if st.Policy != "none" || st.Denied != 0 || st.Stats != nil {
+		t.Fatalf("policy-free admission view: %+v", st)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dollymp/internal/admission"
 	"dollymp/internal/cluster"
 	"dollymp/internal/journal"
 	"dollymp/internal/metrics"
@@ -123,6 +124,15 @@ type Config struct {
 	// shard before any loop starts. The directory is created if
 	// missing. Empty keeps today's in-memory behavior.
 	JournalDir string
+
+	// Admission, when non-nil, polices external submissions at the
+	// router — the deployment's edge — before any shard is picked. The
+	// policy is charged once per SubmitNowait/Submit call; the router's
+	// internal spill-and-retry over shards, the rebalancer, and journal
+	// replay all bypass it (that work was admitted already). The shard
+	// services themselves are built without a policy, so the snapshot
+	// the policy sees is the deployment-wide sum.
+	Admission admission.Policy
 }
 
 // Rebalancer defaults.
@@ -165,6 +175,10 @@ type Router struct {
 	jnls     []*journal.Journal
 	jnlExtra service.JournalStatus // dir-level stats not owned by any shard
 	adoptMu  sync.Mutex            // single-flights Adopt (journal takeover)
+
+	// Edge-admission state (used only when cfg.Admission is set).
+	denied  atomic.Int64
+	mDenied *metrics.Counter // nil unless cfg.Admission is set
 
 	mu  sync.Mutex
 	rng *stats.RNG
@@ -270,6 +284,10 @@ func New(cfg Config) (*Router, error) {
 		owned:      make(map[workload.JobID]int),
 		stealStop:  make(chan struct{}),
 		stealDone:  make(chan struct{}),
+	}
+	if cfg.Admission != nil {
+		r.mDenied = r.rtrReg.Counter("dollymp_jobs_denied_total",
+			"Submissions denied by the edge admission policy.", nil)
 	}
 	// Open (and replay) the journal segments before any service exists:
 	// every accepted job of the previous run must be re-homed before a
@@ -490,13 +508,79 @@ func (r *Router) pick() int {
 	return i
 }
 
-// SubmitNowait routes one job with immediate backpressure. If the
-// chosen shard's queue is full — or that shard is draining — it tries
+// admit runs the router-level edge admission policy, charging it
+// exactly once. Jobs are validated first so malformed submissions never
+// burn admission budget; with no policy configured the (re)validation
+// is skipped and the submit path is unchanged.
+func (r *Router) admit(ctx context.Context, j *workload.Job) error {
+	p := r.cfg.Admission
+	if p == nil {
+		return nil
+	}
+	if j == nil {
+		return fmt.Errorf("shard: nil job")
+	}
+	if err := j.Validate(); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if d := p.Admit(ctx, j, r.AdmissionSnapshot()); !d.Admit {
+		r.denied.Add(1)
+		r.mDenied.Inc()
+		return &service.AdmissionError{Reason: d.Reason, RetryAfter: d.RetryAfter}
+	}
+	return nil
+}
+
+// AdmissionSnapshot implements admission.SnapshotProvider over the
+// whole deployment: queue depth/capacity, active jobs, and pending
+// arrivals summed across shards, clock at the frontier (max).
+func (r *Router) AdmissionSnapshot() admission.Snapshot {
+	var snap admission.Snapshot
+	for _, s := range r.shards {
+		ss := s.AdmissionSnapshot()
+		snap.QueueDepth += ss.QueueDepth
+		snap.QueueCap += ss.QueueCap
+		snap.ActiveJobs += ss.ActiveJobs
+		snap.PendingArrivals += ss.PendingArrivals
+		if ss.Clock > snap.Clock {
+			snap.Clock = ss.Clock
+		}
+	}
+	return snap
+}
+
+// Admission returns the edge-admission view. The router owns the
+// policy (shards are built without one), so its accounting is the
+// deployment's.
+func (r *Router) Admission() service.AdmissionStatus {
+	st := service.AdmissionStatus{Policy: "none", Denied: r.denied.Load()}
+	if p := r.cfg.Admission; p != nil {
+		stats := p.Stats()
+		st.Policy = p.Name()
+		st.Stats = &stats
+	}
+	return st
+}
+
+// SubmitNowait routes one job with immediate backpressure. The edge
+// admission policy (if any) is consulted first — a denial returns
+// *service.AdmissionError without touching any shard. If the chosen
+// shard's queue is full — or that shard is draining — it tries
 // every other shard in index order: a job is only rejected when the
 // whole deployment is saturated (ErrQueueFull) or every shard is
 // draining (ErrStopped). A single stopped shard never refuses work the
 // rest of the deployment could take.
 func (r *Router) SubmitNowait(j *workload.Job) (workload.JobID, error) {
+	if err := r.admit(context.Background(), j); err != nil {
+		return 0, err
+	}
+	return r.submitNowait(j)
+}
+
+// submitNowait is SubmitNowait after the admission charge: the internal
+// entry point Submit's retry loop uses so one admitted job is never
+// charged twice.
+func (r *Router) submitNowait(j *workload.Job) (workload.JobID, error) {
 	k := r.pick()
 	sawFull := false
 	for n := 0; n < len(r.shards); n++ {
@@ -528,11 +612,16 @@ func (r *Router) SubmitNowait(j *workload.Job) (workload.JobID, error) {
 // the waiter falls through to the live shards instead of failing or
 // staying stuck.
 func (r *Router) Submit(ctx context.Context, j *workload.Job) (workload.JobID, error) {
+	// One admission charge covers the whole call: waiting out a full
+	// queue is still the same submission attempt.
+	if err := r.admit(ctx, j); err != nil {
+		return 0, err
+	}
 	const maxWait = 50 * time.Millisecond
 	wait := time.Millisecond
 	for {
 		// Fast path: immediate placement anywhere live.
-		id, err := r.SubmitNowait(j)
+		id, err := r.submitNowait(j)
 		if err == nil || !errors.Is(err, ErrQueueFull) {
 			return id, err // placed, all-draining ErrStopped, or invalid
 		}
@@ -643,6 +732,9 @@ func (r *Router) Counts() service.Counts {
 	for _, s := range r.shards {
 		c.Add(s.Counts())
 	}
+	// Edge denials happen at the router, before any shard is picked, so
+	// no shard counted them.
+	c.Denied += r.denied.Load()
 	return c
 }
 
@@ -699,6 +791,7 @@ func (r *Router) Snapshot() service.ClusterSnapshot {
 		}
 		agg.Servers = append(agg.Servers, snap.Servers...)
 	}
+	agg.Jobs.Denied += r.denied.Load() // edge denials live on the router
 	if capCPU > 0 {
 		agg.UtilizationCPU = float64(usedCPU) / float64(capCPU)
 	}
@@ -956,6 +1049,7 @@ func (r *Router) WriteMetrics(w io.Writer) error {
 // Re-exported sentinel errors so router callers need not import the
 // service package for errors.Is checks.
 var (
-	ErrQueueFull = service.ErrQueueFull
-	ErrStopped   = service.ErrStopped
+	ErrQueueFull       = service.ErrQueueFull
+	ErrStopped         = service.ErrStopped
+	ErrAdmissionDenied = service.ErrAdmissionDenied
 )

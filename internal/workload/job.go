@@ -54,8 +54,17 @@ type Job struct {
 	Name    string
 	App     string // application label ("wordcount", "pagerank", ...)
 	Arrival int64  // a_j, in slots
-	Phases  []Phase
+	// Tenant is an optional submitter label ("team-a") used by edge
+	// admission for per-tenant fairness and by GET /v1/jobs?tenant=
+	// filtering. The scheduler itself ignores it. omitempty keeps
+	// tenant-less traces byte-identical to their pre-tenant encoding.
+	Tenant string `json:",omitempty"`
+	Phases []Phase
 }
+
+// maxTenantLen bounds the tenant label; it is an identifier, not a
+// payload, and it becomes a map key in admission policies.
+const maxTenantLen = 64
 
 // Validate checks structural soundness: at least one phase, positive task
 // counts and durations, valid demands, parent references in range, and
@@ -63,6 +72,9 @@ type Job struct {
 func (j *Job) Validate() error {
 	if len(j.Phases) == 0 {
 		return fmt.Errorf("workload: job %d has no phases", j.ID)
+	}
+	if len(j.Tenant) > maxTenantLen {
+		return fmt.Errorf("workload: job %d tenant label exceeds %d bytes", j.ID, maxTenantLen)
 	}
 	for k, p := range j.Phases {
 		if p.Tasks <= 0 {

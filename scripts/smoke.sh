@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # e2e smoke: boot dollympd on an ephemeral port, push jobs through it
 # with dollymp-load, require every job to complete and /metrics to parse,
-# then check the daemon drains cleanly on SIGTERM. Four passes:
+# then check the daemon drains cleanly on SIGTERM. The passes:
 # unsharded; with -shards 4 (this pass also probes the /v1 error
 # surface, asserting every failure is the machine-readable envelope
 # {"error":{"code","message"}} and /v1/shards reports the topology);
 # with -shards 4 -route single -steal, skewing every submission onto
 # shard 0 and requiring the rebalancer to migrate jobs off it (non-zero
-# steal counter, all jobs still complete); a kill-and-restart pass:
+# steal counter, all jobs still complete); two edge-admission passes:
+# -admission token-bucket rate-limits intake so the client SDK must
+# retry through admission_denied 429s honoring Retry-After, and
+# -admission fair with tenant-labelled load verifies the per-tenant
+# ?tenant= filters and admission accounting; a kill-and-restart pass:
 # submit N jobs against -journal-dir, SIGKILL the daemon mid-run,
 # restart it on the same directory, and require all N jobs to complete
 # with a non-zero journal replay — zero accepted-job loss across a
@@ -134,9 +138,12 @@ EOF
     echo "smoke: federation gateway at $GADDR (members $M0ADDR $M1ADDR)"
 
     # The gateway's error surface is the members': same envelope, same
-    # federated 4-shard topology.
+    # federated 4-shard topology. -gateway-only disables the SDK's
+    # direct-to-member routing so the gateway's round-robin spreads the
+    # jobs across BOTH members — the kill below needs the victim's
+    # journal to hold work worth adopting.
     "$BIN/dollymp-load" -addr "$GADDR" -probe -expect-shards 4
-    "$BIN/dollymp-load" -addr "$GADDR" -n "$njobs" -c "$WORKERS"
+    "$BIN/dollymp-load" -addr "$GADDR" -n "$njobs" -c "$WORKERS" -gateway-only
 
     # SIGKILL one member: the gateway must declare it dead and have the
     # survivor adopt its journal; every accepted job still completes.
@@ -162,6 +169,13 @@ smoke_pass 4 "$JOBS" "" -batch 8
 # -min-steals requires the rebalancer to have actually migrated work.
 smoke_pass 4 $((JOBS * 8)) "-route single -steal -steal-interval 200us" \
     -batch 8 -min-steals 1
+# Edge admission: the token bucket throttles intake below the closed
+# loop's offered rate, so completion proves the SDK retried through
+# admission_denied; the fair pass labels jobs 4:1 and verifies the
+# daemon's per-tenant filters and accounting agree with the assignment.
+smoke_pass 1 "$JOBS" "-admission token-bucket -admission-rate 200 -admission-burst 8"
+smoke_pass 2 "$JOBS" "-admission fair -admission-weights heavy=4,light=1" \
+    -tenants heavy=4,light=1 -batch 4
 smoke_crash "$JOBS"
 smoke_federation "$JOBS"
 echo "smoke: OK (all passes)"
