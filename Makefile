@@ -55,13 +55,16 @@ bench:
 	go run ./cmd/dollymp-bench -drain engine -o BENCH_engine.json
 	go run ./cmd/dollymp-bench -drain router -o BENCH_router.json
 	go run ./cmd/dollymp-bench -sweep -o BENCH_sweep.json
+	go run ./cmd/dollymp-bench -drain engine -profiles short -cpuprofile engine-short.cpu.pprof -o /dev/null
 
-# Re-run the short drain profiles and fail if jobs/s dropped or peak
-# RSS rose more than 10% against the committed baselines (what CI's
-# bench-gate job runs). Fresh reports are kept for artifact upload and
-# removed by `make clean`.
+# Re-run the short drain profiles (including the 2000-server engine
+# profile) and fail if jobs/s dropped or peak RSS rose more than 10%
+# against the committed baselines (what CI's bench-gate job runs). The
+# engine run also captures a CPU pprof so a regression is diagnosable
+# from the CI artifact alone. Fresh reports and profiles are kept for
+# artifact upload and removed by `make clean`.
 bench-gate:
-	go run ./cmd/dollymp-bench -drain engine -profiles short -o BENCH_engine.fresh.json
+	go run ./cmd/dollymp-bench -drain engine -profiles short,short-2k -cpuprofile engine-short.cpu.pprof -o BENCH_engine.fresh.json
 	go run ./cmd/dollymp-bench -drain router -profiles short -o BENCH_router.fresh.json
 	go run ./cmd/dollymp-bench -gate -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
 	go run ./cmd/dollymp-bench -gate -baseline BENCH_router.json -fresh BENCH_router.fresh.json
@@ -82,4 +85,4 @@ cover:
 # baselines are deliberately NOT cleaned; *.fresh.json are the
 # bench-gate's throwaway comparison runs.
 clean:
-	rm -f cover.out *.fresh.json cpu.pprof mem.pprof
+	rm -f cover.out *.fresh.json cpu.pprof mem.pprof *.cpu.pprof

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,8 +32,12 @@ import (
 // drainOptions carries the -drain flag group.
 type drainOptions struct {
 	area     string // "engine" or "router"
-	profiles string // comma-separated subset of short,full
+	profiles string // comma-separated subset of the area's profile names
 	out      string // JSON path; "-" = stdout
+	// cpuprofile/memprofile capture pprof data over the measured drains —
+	// the diagnosable artifact CI uploads alongside the bench-gate result.
+	cpuprofile string
+	memprofile string
 }
 
 // drainProfile fixes one measurement's scale. Profiles are named so the
@@ -47,11 +52,16 @@ type drainProfile struct {
 
 func engineProfiles() []drainProfile {
 	return []drainProfile{
-		// Both profiles use the same fleet so jobs/s is comparable and
-		// the full run isolates memory behaviour (10× the jobs must not
-		// mean 10× the RSS) rather than scheduler cost on a larger fleet.
+		// short/full share a fleet so jobs/s is comparable and the full
+		// run isolates memory behaviour (10× the jobs must not mean 10×
+		// the RSS) rather than scheduler cost on a larger fleet. The -2k
+		// pair scales the fleet 10× instead: it tracks scheduler decision
+		// cost past 200 servers, where the per-slot placement pass (not
+		// the arrival queue) dominates.
 		{name: "short", jobs: 100_000, fleet: 200},
 		{name: "full", jobs: 1_000_000, fleet: 200},
+		{name: "short-2k", jobs: 200_000, fleet: 2000},
+		{name: "full-2k", jobs: 1_000_000, fleet: 2000},
 	}
 }
 
@@ -115,7 +125,11 @@ func parseProfiles(area, s string) ([]drainProfile, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown -profiles entry %q (short or full)", name)
+			known := make([]string, len(all))
+			for i, p := range all {
+				known[i] = p.name
+			}
+			return nil, fmt.Errorf("unknown -profiles entry %q (%s)", name, strings.Join(known, ", "))
 		}
 	}
 	return out, nil
@@ -126,6 +140,30 @@ func runDrainMode(opts drainOptions, stdout io.Writer) error {
 	profiles, err := parseProfiles(opts.area, opts.profiles)
 	if err != nil {
 		return err
+	}
+	if opts.cpuprofile != "" {
+		f, err := os.Create(opts.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if opts.memprofile != "" {
+		defer func() {
+			f, err := os.Create(opts.memprofile)
+			if err != nil {
+				fmt.Fprintln(stdout, "mem profile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stdout, "mem profile:", err)
+			}
+		}()
 	}
 	report := drainReport{Schema: drainSchema, Area: opts.area}
 	for _, p := range profiles {

@@ -10,8 +10,12 @@ import (
 
 func TestParseProfiles(t *testing.T) {
 	all, err := parseProfiles("engine", "")
-	if err != nil || len(all) != 2 {
+	if err != nil || len(all) != 4 {
 		t.Fatalf("default engine profiles: %v, err %v", all, err)
+	}
+	twoK, err := parseProfiles("engine", "short,short-2k")
+	if err != nil || len(twoK) != 2 || twoK[1].fleet != 2000 {
+		t.Fatalf("2k subset: %v, err %v", twoK, err)
 	}
 	short, err := parseProfiles("router", "short")
 	if err != nil || len(short) != 1 || short[0].name != "short" {

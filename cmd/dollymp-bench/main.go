@@ -171,7 +171,10 @@ func main() {
 				out = opts.out
 			}
 		})
-		err = runDrainMode(drainOptions{area: *drainArea, profiles: *profiles, out: out}, os.Stdout)
+		err = runDrainMode(drainOptions{
+			area: *drainArea, profiles: *profiles, out: out,
+			cpuprofile: opts.cpuprofile, memprofile: opts.memprofile,
+		}, os.Stdout)
 	case *sweepMode:
 		opts.scale = *scaleName
 		err = runSweepMode(opts, os.Stdout)

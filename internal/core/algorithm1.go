@@ -15,7 +15,6 @@ import (
 	"math"
 	"sort"
 
-	"dollymp/internal/knapsack"
 	"dollymp/internal/workload"
 )
 
@@ -36,42 +35,121 @@ type JobInfo struct {
 // each job's priority class p_j ≥ 1 (smaller is scheduled earlier).
 // Jobs that no class packs fall into class g+1.
 func Priorities(jobs []JobInfo) map[workload.JobID]int {
-	out := make(map[workload.JobID]int, len(jobs))
-	if len(jobs) == 0 {
+	return prioritiesInto(jobs, nil, &prioScratch{})
+}
+
+// prioScratch holds the reusable buffers of prioritiesInto, so the
+// per-arrival recomputation allocates nothing once warm.
+type prioScratch struct {
+	// byWeight is the knapsack greedy order: job indices by ascending
+	// (Volume, index) — shared by every class, since the unit-profit
+	// oracle always selects smallest-weight-first.
+	byWeight []int
+	// byTime is job indices by ascending Time; the candidate set of
+	// class l is a prefix of it.
+	byTime   []int
+	assigned []bool
+}
+
+// prioritiesInto is Priorities writing into a reused map and scratch.
+// The per-class knapsack (sort + item set + selection) of the original
+// formulation collapses into one shared weight-sort and a linear greedy
+// per class: the unit-profit oracle packs smallest-weight-first, and
+// already-assigned jobs stay in the item set (they keep consuming
+// budget), so selection per class is a single pass over the shared
+// order. Classes whose candidate prefix holds no unassigned job are
+// skipped — the knapsack could only re-pick assigned jobs there — which
+// is what keeps a large g (see classCount's cap) cheap.
+func prioritiesInto(jobs []JobInfo, out map[workload.JobID]int, buf *prioScratch) map[workload.JobID]int {
+	if out == nil {
+		out = make(map[workload.JobID]int, len(jobs))
+	} else {
+		clear(out)
+	}
+	n := len(jobs)
+	if n == 0 {
 		return out
 	}
 	g := classCount(jobs)
-	assigned := make(map[workload.JobID]bool, len(jobs))
-	for l := 1; l <= g; l++ {
-		budget := math.Pow(2, float64(l))
-		// B_l = {j : e_j ≤ 2^l}.
-		var items []knapsack.Item
-		idx := make(map[int]workload.JobID)
-		for i, j := range jobs {
-			if j.Time <= budget {
-				items = append(items, knapsack.Item{ID: i, Weight: j.Volume})
-				idx[i] = j.ID
-			}
+
+	buf.byWeight = buf.byWeight[:0]
+	buf.byTime = buf.byTime[:0]
+	buf.assigned = buf.assigned[:0]
+	for i := 0; i < n; i++ {
+		buf.byWeight = append(buf.byWeight, i)
+		buf.byTime = append(buf.byTime, i)
+		buf.assigned = append(buf.assigned, false)
+	}
+	sort.Slice(buf.byWeight, func(a, b int) bool {
+		ia, ib := buf.byWeight[a], buf.byWeight[b]
+		if jobs[ia].Volume != jobs[ib].Volume {
+			return jobs[ia].Volume < jobs[ib].Volume
 		}
-		for _, id := range knapsack.MaxCardinality(items, budget) {
-			jid := idx[id]
-			if !assigned[jid] {
-				assigned[jid] = true
-				out[jid] = l
+		return ia < ib
+	})
+	sort.Slice(buf.byTime, func(a, b int) bool {
+		return jobs[buf.byTime[a]].Time < jobs[buf.byTime[b]].Time
+	})
+
+	unassigned := n
+	prefix := 0            // byTime[:prefix] have Time ≤ current budget
+	unassignedInPrefix := 0
+	for l := 1; l <= g && unassigned > 0; l++ {
+		budget := math.Ldexp(1, l) // 2^l, exact for l ≤ classCap
+		for prefix < n && jobs[buf.byTime[prefix]].Time <= budget {
+			if !buf.assigned[buf.byTime[prefix]] {
+				unassignedInPrefix++
+			}
+			prefix++
+		}
+		if unassignedInPrefix == 0 {
+			continue // no new candidate job in B_l
+		}
+		remaining := budget
+		for _, i := range buf.byWeight {
+			j := &jobs[i]
+			if j.Time > budget {
+				continue
+			}
+			if j.Volume < 0 {
+				continue // defensive: negative volumes are invalid input
+			}
+			if j.Volume <= remaining {
+				remaining -= j.Volume
+				if !buf.assigned[i] {
+					buf.assigned[i] = true
+					unassigned--
+					unassignedInPrefix--
+					if _, dup := out[j.ID]; !dup {
+						out[j.ID] = l
+					}
+				}
 			}
 		}
 	}
-	for _, j := range jobs {
-		if !assigned[j.ID] {
-			out[j.ID] = g + 1
+	for i := range jobs {
+		if !buf.assigned[i] {
+			if _, dup := out[jobs[i].ID]; !dup {
+				out[jobs[i].ID] = g + 1
+			}
 		}
 	}
 	return out
 }
 
+// classCap bounds the number of geometric classes: 2^64 slots of
+// deadline budget covers any realistic effective processing time, and
+// math.Ldexp(1, l) stays exact (the uncapped formula saturates
+// math.Pow(2, l) to +Inf once a near-cluster-filling task clamps maxD
+// to 1-1e-9 and g explodes past the float64 exponent range). Jobs whose
+// e_j exceeds 2^classCap fall into class g+1 like any other
+// unclassified job.
+const classCap = 64
+
 // classCount computes g = log₂(Σ v_j / (1 − max_j d_j)) per Algorithm 1
 // Step 2, widened so that 2^g covers the largest e_j (otherwise online
-// instances with long jobs would leave them unclassified).
+// instances with long jobs would leave them unclassified), and capped
+// at classCap.
 func classCount(jobs []JobInfo) int {
 	sumV := 0.0
 	maxD := 0.0
@@ -99,6 +177,9 @@ func classCount(jobs []JobInfo) int {
 	}
 	if g < 1 {
 		g = 1
+	}
+	if g > classCap {
+		g = classCap
 	}
 	return g
 }

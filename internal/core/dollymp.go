@@ -47,6 +47,97 @@ type Scheduler struct {
 	specMinSample int
 
 	prios map[workload.JobID]int
+	// pendingArrivals defers the per-arrival priority recomputation to
+	// the next Schedule call. The engine notifies arrivals and
+	// immediately enters its schedule loop with no state change in
+	// between, so a deferred recompute per decision point replaces one
+	// recompute per arrived job — placement-for-placement identical,
+	// and the dominant saving under bursty arrivals. The count (not a
+	// bool) matters only in estimation mode: see Schedule.
+	pendingArrivals int
+
+	scratch scratch
+}
+
+// member pairs a class member with its task cursor for the placement
+// passes, so the inner scans stop paying a map lookup per probe.
+type member struct {
+	js  *workload.JobState
+	cur *sched.JobCursor
+}
+
+// scratch is the allocation-heavy state Schedule used to rebuild every
+// call, now reused across calls. A Scheduler is confined to one
+// goroutine (like the engine that owns it), so plain buffers suffice.
+type scratch struct {
+	ft      *sched.FitTracker
+	cursors []sched.JobCursor
+	// prevJobs is how many cursors the previous call used; reset nils
+	// the stale JobState pointers beyond the current count so completed
+	// jobs do not linger reachable.
+	prevJobs int
+	// classes[l] holds every member of class l (the clone passes need
+	// drained jobs too); active[l] is the subset with a schedulable head,
+	// compacted in place as cursors drain.
+	classes [][]member
+	active  [][]member
+	// minDemand[l] is a component-wise lower bound on every active
+	// member's current head demand. It only ever moves down (Min on
+	// every observed head change), so if it does not fit a server's
+	// free vector, nothing in the class does and the scan is skipped.
+	minDemand []resources.Vector
+
+	infos []JobInfo
+	prio  prioScratch
+
+	// Server-order cache for straggler avoidance: the sorted visit
+	// order plus the per-position speed snapshot it was derived from.
+	// An O(n) speed comparison per call replaces an O(n log n) sort.
+	orderFleet  *cluster.Cluster
+	orderSorted []*cluster.Server
+	orderSpeeds []float64
+	orderBuf    []serverSpeed
+
+	added map[workload.TaskRef]int
+}
+
+type serverSpeed struct {
+	srv   *cluster.Server
+	speed float64
+}
+
+// fitTracker returns the reused tracker re-snapshotted on the cluster.
+func (sc *scratch) fitTracker(c *cluster.Cluster) *sched.FitTracker {
+	if sc.ft == nil {
+		sc.ft = sched.NewFitTracker(c)
+		return sc.ft
+	}
+	sc.ft.Reset(c)
+	return sc.ft
+}
+
+// reset prepares the per-call buffers for maxClass classes and n jobs.
+func (sc *scratch) reset(maxClass, n int) {
+	if len(sc.cursors) < n {
+		grown := make([]sched.JobCursor, n+len(sc.cursors))
+		copy(grown, sc.cursors)
+		sc.cursors = grown
+	}
+	for i := n; i < sc.prevJobs; i++ {
+		sc.cursors[i].JS = nil
+	}
+	sc.prevJobs = n
+	for len(sc.classes) <= maxClass {
+		sc.classes = append(sc.classes, nil)
+		sc.active = append(sc.active, nil)
+		sc.minDemand = append(sc.minDemand, resources.Vector{})
+	}
+	for l := range sc.classes {
+		clear(sc.classes[l])
+		sc.classes[l] = sc.classes[l][:0]
+		clear(sc.active[l])
+		sc.active[l] = sc.active[l][:0]
+	}
 }
 
 // Option configures the scheduler.
@@ -152,19 +243,31 @@ func (s *Scheduler) MaxClones() int { return s.maxClones }
 
 // OnJobArrival implements sched.ArrivalAware: priorities are recomputed
 // only when a new job enters the cluster (§5), using the updated volumes
-// and processing times of Eqs. (16)–(17).
-func (s *Scheduler) OnJobArrival(ctx sched.Context, _ *workload.JobState) {
+// and processing times of Eqs. (16)–(17). The recomputation itself is
+// deferred to the next Schedule call — the engine schedules immediately
+// after delivering arrivals with no state change in between, so a burst
+// of arrivals costs one recompute instead of one each.
+func (s *Scheduler) OnJobArrival(sched.Context, *workload.JobState) {
+	s.pendingArrivals++
+}
+
+// RecomputePriorities runs the Algorithm 1 recomputation immediately —
+// the per-arrival work OnJobArrival defers to the next Schedule call.
+// Exposed for overhead measurements that want the cost inline.
+func (s *Scheduler) RecomputePriorities(ctx sched.Context) {
 	s.recompute(ctx)
+	s.pendingArrivals = 0
 }
 
 func (s *Scheduler) recompute(ctx sched.Context) {
 	total := ctx.Cluster().Total()
 	jobs := ctx.Jobs()
-	infos := make([]JobInfo, 0, len(jobs))
+	infos := s.scratch.infos[:0]
 	for _, js := range jobs {
 		infos = append(infos, s.jobInfo(ctx, js, total))
 	}
-	s.prios = Priorities(infos)
+	s.scratch.infos = infos
+	s.prios = prioritiesInto(infos, s.prios, &s.scratch.prio)
 }
 
 func (s *Scheduler) jobInfo(ctx sched.Context, js *workload.JobState, total resources.Vector) JobInfo {
@@ -223,14 +326,45 @@ func (s *Scheduler) harvest(ctx sched.Context) {
 	}
 }
 
+// copyCounter exposes the cheapest available way to count a task's live
+// copies: contexts that implement CopyCount (the engine, the test fake)
+// avoid materializing a CopyStatus slice per probe.
+func copyCounter(ctx sched.Context) func(workload.TaskRef) int {
+	if cc, ok := ctx.(interface {
+		CopyCount(workload.TaskRef) int
+	}); ok {
+		return cc.CopyCount
+	}
+	return func(ref workload.TaskRef) int { return len(ctx.Copies(ref)) }
+}
+
 // Schedule implements Algorithm 2: a new-task pass over priority classes
 // (best resource fit within a class), then up to maxClones clone passes
 // over running tasks in the same priority order, constrained by the δ
-// cloning budget.
+// cloning budget. Every placement it emits is identical to the
+// straightforward per-call-rebuild formulation; the scratch reuse,
+// member compaction and demand floors only remove provably fruitless
+// work (pinned by the cross-seed equivalence property test).
 func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
 	jobs := ctx.Jobs()
 	if len(jobs) == 0 {
 		return nil
+	}
+	if s.pendingArrivals > 0 {
+		// Deferred from OnJobArrival. Run it before harvest, exactly
+		// where the eager per-arrival recompute sat relative to the
+		// Schedule-time harvest, so the estimator folds observations in
+		// an identical order. In estimation mode a burst of arrivals
+		// needs one extra pass: the eager scheduler's *last* recompute
+		// estimated against history that already held the active jobs'
+		// own records (folded by its first pass), and the estimator's
+		// Record watermark makes every pass after the second a fixed
+		// point — so two passes reproduce N exactly.
+		s.recompute(ctx)
+		if s.pendingArrivals > 1 && s.estimator != nil {
+			s.recompute(ctx)
+		}
+		s.pendingArrivals = 0
 	}
 	if s.estimator != nil {
 		s.harvest(ctx)
@@ -245,24 +379,44 @@ func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
 	}
 
 	total := ctx.Cluster().Total()
-	ft := sched.NewFitTracker(ctx.Cluster())
+	sc := &s.scratch
+	ft := sc.fitTracker(ctx.Cluster())
 
-	// Group jobs by priority class.
-	classes := make(map[int][]*workload.JobState)
+	// Group jobs by priority class, one pooled cursor each. Cursors are
+	// O(1) per probe regardless of backlog depth, which keeps heavy-load
+	// decisions O(active jobs).
 	maxClass := 0
 	for _, js := range jobs {
-		p := s.prios[js.Job.ID]
-		classes[p] = append(classes[p], js)
-		if p > maxClass {
+		if p := s.prios[js.Job.ID]; p > maxClass {
 			maxClass = p
 		}
 	}
+	sc.reset(maxClass, len(jobs))
+	for i, js := range jobs {
+		cur := &sc.cursors[i]
+		cur.Reset(js)
+		sc.classes[s.prios[js.Job.ID]] = append(sc.classes[s.prios[js.Job.ID]], member{js: js, cur: cur})
+	}
 
-	// Per-job lazy task cursors: O(1) per probe regardless of backlog
-	// depth, which keeps heavy-load decisions O(active jobs).
-	cursors := make(map[workload.JobID]*sched.JobCursor, len(jobs))
-	for _, js := range jobs {
-		cursors[js.Job.ID] = sched.NewJobCursor(js)
+	// Active members are those with a schedulable task right now; jobs
+	// drained before the call starts (everything running/done) never
+	// enter the scan. minDemand starts as the per-class floor over the
+	// active heads.
+	activeTotal := 0
+	for l := 1; l <= maxClass; l++ {
+		for _, m := range sc.classes[l] {
+			pt, ok := m.cur.Peek()
+			if !ok {
+				continue
+			}
+			if len(sc.active[l]) == 0 {
+				sc.minDemand[l] = pt.Demand
+			} else {
+				sc.minDemand[l] = sc.minDemand[l].Min(pt.Demand)
+			}
+			sc.active[l] = append(sc.active[l], m)
+			activeTotal++
+		}
 	}
 
 	var out []sched.Placement
@@ -271,41 +425,58 @@ func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
 	// order; within a class pick the task maximizing the inner product
 	// between demand and the server's remaining capacity.
 	for _, srv := range s.serverOrder(ctx) {
-		if ft.Free(srv.ID).IsZero() {
+		if activeTotal == 0 {
+			break // every pending task placed; servers differ no more
+		}
+		free := ft.Free(srv.ID)
+		if free.IsZero() {
 			continue
 		}
 		for l := 1; l <= maxClass; l++ {
-			members := classes[l]
-			if len(members) == 0 {
+			act := sc.active[l]
+			if len(act) == 0 {
 				continue
 			}
+			if !sc.minDemand[l].Fits(free) {
+				continue // nothing in the class can fit this server
+			}
 			for {
-				bestJob := -1
+				best := -1
 				bestScore := -1.0
-				free := ft.Free(srv.ID)
-				for i, js := range members {
-					pt, ok := cursors[js.Job.ID].Peek()
+				w := 0
+				for _, m := range act {
+					pt, ok := m.cur.Peek()
 					if !ok {
+						activeTotal-- // drained: compact out for good
 						continue
 					}
+					act[w] = m
+					w++
 					if !pt.Demand.Fits(free) {
 						continue
 					}
-					score := pt.Demand.Dot(free, total)
-					if score > bestScore {
+					if score := pt.Demand.Dot(free, total); score > bestScore {
 						bestScore = score
-						bestJob = i
+						best = w - 1
 					}
 				}
-				if bestJob < 0 {
+				act = act[:w]
+				if best < 0 {
 					break
 				}
-				cur := cursors[members[bestJob].Job.ID]
-				pt, _ := cur.Peek()
+				m := act[best]
+				pt, _ := m.cur.Peek()
 				ft.Place(srv.ID, pt.Demand)
-				cur.Advance()
+				free = free.Sub(pt.Demand)
+				m.cur.Advance()
+				if npt, ok := m.cur.Peek(); ok && npt.Demand != pt.Demand {
+					// Keep the floor an under-approximation as heads
+					// move to later phases with different demands.
+					sc.minDemand[l] = sc.minDemand[l].Min(npt.Demand)
+				}
 				out = append(out, sched.Placement{Ref: pt.Ref, Server: srv.ID})
 			}
+			sc.active[l] = act
 		}
 	}
 
@@ -314,9 +485,9 @@ func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
 	// pass and both respect the δ budget.
 	switch {
 	case s.speculate:
-		out = append(out, s.speculationPass(ctx, ft, classes, maxClass, cursors)...)
+		out = append(out, s.speculationPass(ctx, ft, sc, maxClass)...)
 	case s.maxClones > 0:
-		out = append(out, s.clonePasses(ctx, ft, classes, maxClass, cursors)...)
+		out = append(out, s.clonePasses(ctx, ft, sc, maxClass)...)
 	}
 	return out
 }
@@ -328,9 +499,8 @@ func (s *Scheduler) Schedule(ctx sched.Context) []sched.Placement {
 func (s *Scheduler) speculationPass(
 	ctx sched.Context,
 	ft *sched.FitTracker,
-	classes map[int][]*workload.JobState,
+	sc *scratch,
 	maxClass int,
-	cursors map[workload.JobID]*sched.JobCursor,
 ) []sched.Placement {
 	total := ctx.Cluster().Total()
 	budget := resources.Vec(
@@ -342,11 +512,12 @@ func (s *Scheduler) speculationPass(
 
 	var out []sched.Placement
 	for l := 1; l <= maxClass; l++ {
-		for _, js := range classes[l] {
-			if !cursors[js.Job.ID].Exhausted() {
+		for _, m := range sc.classes[l] {
+			if !m.cur.Exhausted() {
 				continue // pending work first, as with cloning
 			}
-			for _, k := range js.ReadyPhases() {
+			js := m.js
+			for _, k := range m.cur.Phases() {
 				if js.RunningCount(k) == 0 {
 					continue
 				}
@@ -355,7 +526,10 @@ func (s *Scheduler) speculationPass(
 					continue
 				}
 				demand := js.Job.Phases[k].Demand
-				for _, lidx := range js.RunningTasks(k) {
+				if !cloneUse.Add(demand).Fits(budget) {
+					continue // δ budget exhausted for this shape
+				}
+				for _, lidx := range js.RunningTasksView(k) {
 					ref := workload.TaskRef{Job: js.Job.ID, Phase: k, Index: lidx}
 					copies := ctx.Copies(ref)
 					if len(copies) != 1 {
@@ -384,30 +558,57 @@ func (s *Scheduler) speculationPass(
 
 // serverOrder returns the fleet in placement-visit order: by ID, or —
 // with straggler avoidance on — fastest learned speed first so work
-// lands on healthy machines before straggler-prone ones.
+// lands on healthy machines before straggler-prone ones. The sorted
+// order is cached between calls and invalidated by comparing the
+// learned speeds position by position, so a quiet fleet costs a linear
+// scan instead of a sort. Speeds are tracked by fleet position, never
+// indexed by server ID, so sparse-ID fleets (e.g. a partition keeping
+// global IDs) sort correctly.
 func (s *Scheduler) serverOrder(ctx sched.Context) []*cluster.Server {
 	servers := ctx.Cluster().Servers()
 	if !s.avoidStragglers {
 		return servers
 	}
-	ordered := make([]*cluster.Server, len(servers))
-	copy(ordered, servers)
-	speed := make([]float64, len(servers))
+	sc := &s.scratch
+	fresh := sc.orderFleet == ctx.Cluster() && len(sc.orderSpeeds) == len(servers)
+	if fresh {
+		for i, srv := range servers {
+			est, n := ctx.ObservedServerSpeed(srv.ID)
+			if n == 0 {
+				est = 1
+			}
+			if sc.orderSpeeds[i] != est {
+				fresh = false
+				break
+			}
+		}
+	}
+	if fresh {
+		return sc.orderSorted
+	}
+	sc.orderFleet = ctx.Cluster()
+	sc.orderSpeeds = sc.orderSpeeds[:0]
+	sc.orderBuf = sc.orderBuf[:0]
 	for _, srv := range servers {
 		est, n := ctx.ObservedServerSpeed(srv.ID)
 		if n == 0 {
 			est = 1
 		}
-		speed[srv.ID] = est
+		sc.orderSpeeds = append(sc.orderSpeeds, est)
+		sc.orderBuf = append(sc.orderBuf, serverSpeed{srv: srv, speed: est})
 	}
-	sort.SliceStable(ordered, func(a, b int) bool {
-		sa, sb := speed[ordered[a].ID], speed[ordered[b].ID]
+	sort.SliceStable(sc.orderBuf, func(a, b int) bool {
+		sa, sb := sc.orderBuf[a].speed, sc.orderBuf[b].speed
 		if sa != sb {
 			return sa > sb
 		}
-		return ordered[a].ID < ordered[b].ID
+		return sc.orderBuf[a].srv.ID < sc.orderBuf[b].srv.ID
 	})
-	return ordered
+	sc.orderSorted = sc.orderSorted[:0]
+	for _, e := range sc.orderBuf {
+		sc.orderSorted = append(sc.orderSorted, e.srv)
+	}
+	return sc.orderSorted
 }
 
 // clonePasses launches up to maxClones extra copies per running task in
@@ -415,9 +616,8 @@ func (s *Scheduler) serverOrder(ctx sched.Context) []*cluster.Server {
 func (s *Scheduler) clonePasses(
 	ctx sched.Context,
 	ft *sched.FitTracker,
-	classes map[int][]*workload.JobState,
+	sc *scratch,
 	maxClass int,
-	cursors map[workload.JobID]*sched.JobCursor,
 ) []sched.Placement {
 	total := ctx.Cluster().Total()
 	budget := resources.Vec(
@@ -425,27 +625,39 @@ func (s *Scheduler) clonePasses(
 		int64(s.delta*float64(total.MemMiB)),
 	)
 	cloneUse := ctx.CloneUsage()
-	added := make(map[workload.TaskRef]int)
+	copyCount := copyCounter(ctx)
+	if sc.added == nil {
+		sc.added = make(map[workload.TaskRef]int)
+	} else {
+		clear(sc.added)
+	}
+	added := sc.added
 
 	var out []sched.Placement
 	for pass := 1; pass <= s.maxClones; pass++ {
 		for l := 1; l <= maxClass; l++ {
-			for _, js := range classes[l] {
+			for _, m := range sc.classes[l] {
 				// §4.1/§5: clones are for jobs whose new tasks are all
 				// placed; a job with pending tasks still waits for
 				// capacity, so racing clones ahead of them would harm
 				// the very jobs the pass is meant to help.
-				if !cursors[js.Job.ID].Exhausted() {
+				if !m.cur.Exhausted() {
 					continue
 				}
-				for _, k := range js.ReadyPhases() {
+				js := m.js
+				for _, k := range m.cur.Phases() {
 					if js.RunningCount(k) == 0 {
 						continue
 					}
 					demand := js.Job.Phases[k].Demand
-					for _, lidx := range js.RunningTasks(k) {
+					if !cloneUse.Add(demand).Fits(budget) {
+						// The budget only tightens within a call, so no
+						// task of this shape can clone anymore.
+						continue
+					}
+					for _, lidx := range js.RunningTasksView(k) {
 						ref := workload.TaskRef{Job: js.Job.ID, Phase: k, Index: lidx}
-						copies := len(ctx.Copies(ref)) + added[ref]
+						copies := copyCount(ref) + added[ref]
 						if copies == 0 || copies != pass {
 							// Pass p tops tasks up to p+1 copies total.
 							continue

@@ -1,0 +1,7 @@
+package core
+
+import "dollymp/internal/estimate"
+
+// EstimatorOf exposes the scheduler's estimator to black-box tests that
+// pin the exactly-once Record folding contract.
+func EstimatorOf(s *Scheduler) *estimate.Estimator { return s.estimator }

@@ -180,3 +180,17 @@ func (e *Estimator) maxAppSD(app string) float64 {
 
 // KnownPhases reports how many distinct phase classes have history.
 func (e *Estimator) KnownPhases() int { return len(e.byPhase) }
+
+// ObservedSamples returns the dedup watermark for a phase class: the
+// highest sample count a Record call has folded for it. Tests use it to
+// pin the exactly-once folding contract.
+func (e *Estimator) ObservedSamples(key Key) int { return e.observedN[key] }
+
+// HistorySamples returns how many samples the phase class's history
+// summary holds.
+func (e *Estimator) HistorySamples(key Key) int {
+	if ph := e.byPhase[key]; ph != nil {
+		return ph.N()
+	}
+	return 0
+}

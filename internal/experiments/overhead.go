@@ -97,7 +97,7 @@ func Overhead(cfg OverheadConfig) (*OverheadResult, error) {
 
 	// Priority recomputation (the per-arrival cost the paper reports).
 	start := time.Now()
-	s.OnJobArrival(ctx, nil)
+	s.RecomputePriorities(ctx)
 	prio := time.Since(start)
 
 	// One full placement round across the fleet.

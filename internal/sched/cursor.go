@@ -25,6 +25,22 @@ func NewJobCursor(js *workload.JobState) *JobCursor {
 	return &JobCursor{JS: js, phases: js.ReadyPhases()}
 }
 
+// Reset points the cursor at a job's current ready phases, reusing the
+// cursor's internal storage. It makes a pool of cursors allocation-free
+// across Schedule calls.
+func (c *JobCursor) Reset(js *workload.JobState) {
+	c.JS = js
+	c.phases = js.AppendReadyPhases(c.phases[:0])
+	c.pi = 0
+	c.next = 0
+	c.headValid = false
+}
+
+// Phases returns the ready phases the cursor iterates, in phase order.
+// The slice shares the cursor's storage: callers must not modify it and
+// must not hold it across a Reset.
+func (c *JobCursor) Phases() []workload.PhaseID { return c.phases }
+
 // Peek returns the next schedulable task without consuming it.
 func (c *JobCursor) Peek() (PendingTask, bool) {
 	if c.headValid {

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"dollymp/internal/cluster"
 	"dollymp/internal/resources"
 	"dollymp/internal/workload"
@@ -82,21 +84,64 @@ func FirstFitServer(c *cluster.Cluster, demand resources.Vector) (cluster.Server
 
 // FitTracker overlays tentative placements on the cluster's free
 // capacities so a scheduler can plan a whole batch without mutating the
-// engine-owned cluster state.
+// engine-owned cluster state. It snapshots the free vectors at Reset
+// (schedulers plan against a frozen decision point — the engine never
+// mutates the ledger mid-call), which turns every query into a slice
+// read instead of a map lookup plus a live ledger read.
 type FitTracker struct {
-	c    *cluster.Cluster
-	used map[cluster.ServerID]resources.Vector
+	servers []*cluster.Server
+	free    []resources.Vector
+	total   resources.Vector
+	// index maps server ID to fleet position when IDs are sparse;
+	// nil while IDs are dense (position == ID).
+	index map[cluster.ServerID]int
 }
 
 // NewFitTracker creates a tracker over the cluster's current free state.
 func NewFitTracker(c *cluster.Cluster) *FitTracker {
-	return &FitTracker{c: c, used: make(map[cluster.ServerID]resources.Vector)}
+	f := &FitTracker{}
+	f.Reset(c)
+	return f
+}
+
+// Reset re-snapshots the cluster's free capacities, dropping every
+// tentative placement, so one tracker can serve many Schedule calls
+// without reallocating.
+func (f *FitTracker) Reset(c *cluster.Cluster) {
+	f.servers = c.Servers()
+	f.total = c.Total()
+	f.free = f.free[:0]
+	dense := true
+	for i, s := range f.servers {
+		f.free = append(f.free, s.Free())
+		if int(s.ID) != i {
+			dense = false
+		}
+	}
+	if dense {
+		f.index = nil
+		return
+	}
+	f.index = make(map[cluster.ServerID]int, len(f.servers))
+	for i, s := range f.servers {
+		f.index[s.ID] = i
+	}
+}
+
+func (f *FitTracker) pos(id cluster.ServerID) int {
+	if f.index == nil {
+		return int(id)
+	}
+	if i, ok := f.index[id]; ok {
+		return i
+	}
+	panic(fmt.Sprintf("sched: unknown server %d", id))
 }
 
 // Free returns the remaining capacity of a server after tentative
 // placements.
 func (f *FitTracker) Free(id cluster.ServerID) resources.Vector {
-	return f.c.Server(id).Free().Sub(f.used[id])
+	return f.free[f.pos(id)]
 }
 
 // Fits reports whether demand fits server id now.
@@ -107,64 +152,62 @@ func (f *FitTracker) Fits(id cluster.ServerID, demand resources.Vector) bool {
 // Place tentatively consumes demand on server id. It returns false
 // without consuming if the demand does not fit.
 func (f *FitTracker) Place(id cluster.ServerID, demand resources.Vector) bool {
-	if !f.Fits(id, demand) {
+	i := f.pos(id)
+	if !demand.Fits(f.free[i]) {
 		return false
 	}
-	f.used[id] = f.used[id].Add(demand)
+	f.free[i] = f.free[i].Sub(demand)
 	return true
 }
 
 // BestFit returns the fitting server maximizing demand·free, or false.
+// Ties break toward the lower server ID (fleet order).
 func (f *FitTracker) BestFit(demand resources.Vector) (cluster.ServerID, bool) {
-	total := f.c.Total()
-	best := cluster.ServerID(-1)
+	best := -1
 	bestScore := -1.0
-	for _, s := range f.c.Servers() {
-		free := f.Free(s.ID)
+	for i, free := range f.free {
 		if !demand.Fits(free) {
 			continue
 		}
-		score := demand.Dot(free, total)
+		score := demand.Dot(free, f.total)
 		if score > bestScore {
 			bestScore = score
-			best = s.ID
+			best = i
 		}
 	}
 	if best < 0 {
 		return 0, false
 	}
-	return best, true
+	return f.servers[best].ID, true
 }
 
 // WorstFit returns the fitting server with the largest remaining free
 // capacity by dominant share (load balancing), or false.
 func (f *FitTracker) WorstFit(demand resources.Vector) (cluster.ServerID, bool) {
-	total := f.c.Total()
-	best := cluster.ServerID(-1)
+	best := -1
 	bestScore := -1.0
-	for _, s := range f.c.Servers() {
-		free := f.Free(s.ID)
+	for i, free := range f.free {
 		if !demand.Fits(free) {
 			continue
 		}
-		score := free.DominantShare(total)
+		score := free.DominantShare(f.total)
 		if score > bestScore {
 			bestScore = score
-			best = s.ID
+			best = i
 		}
 	}
 	if best < 0 {
 		return 0, false
 	}
-	return best, true
+	return f.servers[best].ID, true
 }
 
 // TotalFree returns cluster-wide free capacity after tentative
 // placements.
 func (f *FitTracker) TotalFree() resources.Vector {
-	free := f.c.TotalFree()
-	for _, u := range f.used {
-		free = free.Sub(u)
+	var free resources.Vector
+	for _, v := range f.free {
+		free = free.Add(v)
 	}
 	return free
 }

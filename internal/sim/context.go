@@ -36,6 +36,19 @@ func (e *Engine) Copies(ref workload.TaskRef) []sched.CopyStatus {
 	return out
 }
 
+// CopyCount returns the number of live (non-killed) copies of a task
+// without materializing the slice Copies builds — the allocation-free
+// fast path the scheduler's clone passes use.
+func (e *Engine) CopyCount(ref workload.TaskRef) int {
+	n := 0
+	for _, c := range e.copies[ref] {
+		if !c.killed {
+			n++
+		}
+	}
+	return n
+}
+
 // CloneUsage returns resources currently held by clone copies.
 func (e *Engine) CloneUsage() resources.Vector { return e.cloneUse }
 

@@ -207,12 +207,14 @@ func New(cfg Config) (*Engine, error) {
 
 		copiesPerTask: make(map[phaseKey]*stats.Summary),
 	}
-	events, err := sortEvents(cfg.Events, cfg.Cluster.Len())
+	events, err := sortEvents(cfg.Events, cfg.Cluster)
 	if err != nil {
 		return nil, err
 	}
 	e.events = events
-	e.speedEst = make([]speedEstimate, cfg.Cluster.Len())
+	// Sized by highest ID, not fleet size: sparse-ID fleets index this
+	// slice by server ID directly.
+	e.speedEst = make([]speedEstimate, int(cfg.Cluster.MaxID())+1)
 	for _, s := range cfg.Cluster.Servers() {
 		if s.Rack+1 > e.rackCount {
 			e.rackCount = s.Rack + 1
@@ -551,7 +553,7 @@ func (e *Engine) applyPlacement(p sched.Placement) error {
 	if len(existing) >= e.cfg.MaxCopiesPerTask {
 		return fmt.Errorf("sim: task %v already has %d copies (cap %d)", p.Ref, len(existing), e.cfg.MaxCopiesPerTask)
 	}
-	if int(p.Server) < 0 || int(p.Server) >= e.cfg.Cluster.Len() {
+	if !e.cfg.Cluster.Contains(p.Server) {
 		return fmt.Errorf("sim: placement on unknown server %d", p.Server)
 	}
 	if err := e.cfg.Cluster.Allocate(p.Server, ph.Demand); err != nil {

@@ -37,11 +37,11 @@ type Event struct {
 	Factor float64
 }
 
-func (e Event) validate(fleetSize int) error {
+func (e Event) validate(c *cluster.Cluster) error {
 	if e.At < 0 {
 		return fmt.Errorf("sim: event at negative slot %d", e.At)
 	}
-	if int(e.Server) < 0 || int(e.Server) >= fleetSize {
+	if !c.Contains(e.Server) {
 		return fmt.Errorf("sim: event for unknown server %d", e.Server)
 	}
 	switch e.Kind {
@@ -57,11 +57,11 @@ func (e Event) validate(fleetSize int) error {
 }
 
 // sortEvents validates and orders the injection schedule.
-func sortEvents(events []Event, fleetSize int) ([]Event, error) {
+func sortEvents(events []Event, c *cluster.Cluster) ([]Event, error) {
 	out := make([]Event, len(events))
 	copy(out, events)
 	for _, e := range out {
-		if err := e.validate(fleetSize); err != nil {
+		if err := e.validate(c); err != nil {
 			return nil, err
 		}
 	}

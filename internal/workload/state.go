@@ -53,6 +53,14 @@ type JobState struct {
 	// TasksCloned counts tasks that received at least one clone.
 	CopiesLaunched int
 	TasksCloned    int
+
+	// topo caches Job.TopoOrder() — the DAG never changes after
+	// validation, but Eq. (17) walks it at every priority recompute.
+	// finish is the reusable critical-path scratch of the same walk.
+	topo     []PhaseID
+	topoBad  bool
+	topoDone bool
+	finish   []float64
 }
 
 // NewJobState initializes tracking for a validated job.
@@ -217,6 +225,12 @@ func (s *JobState) RunningTasks(k PhaseID) []int {
 	return out
 }
 
+// RunningTasksView is RunningTasks without the copy: it shares the
+// JobState's internal storage. Callers must not modify the slice and
+// must not hold it across a Mark* mutation — it is for read-only scans
+// within one scheduling decision.
+func (s *JobState) RunningTasksView(k PhaseID) []int { return s.runningList[k] }
+
 // RunningCount returns the number of running tasks in phase k in O(1).
 func (s *JobState) RunningCount(k PhaseID) int { return len(s.runningList[k]) }
 
@@ -224,13 +238,18 @@ func (s *JobState) RunningCount(k PhaseID) int { return len(s.runningList[k]) }
 // not themselves complete, in index order — the phases Algorithm 2 may
 // draw tasks from.
 func (s *JobState) ReadyPhases() []PhaseID {
-	var out []PhaseID
+	return s.AppendReadyPhases(nil)
+}
+
+// AppendReadyPhases appends the ready phases to dst and returns it —
+// ReadyPhases for callers that reuse a buffer across decisions.
+func (s *JobState) AppendReadyPhases(dst []PhaseID) []PhaseID {
 	for k := range s.Job.Phases {
 		if !s.phaseDone[k] && s.PhaseReady(PhaseID(k)) {
-			out = append(out, PhaseID(k))
+			dst = append(dst, PhaseID(k))
 		}
 	}
-	return out
+	return dst
 }
 
 // UpdatedVolume implements Eq. (16): the effective volume restricted to
@@ -270,11 +289,22 @@ func (s *JobState) UpdatedProcessingTime(r float64) float64 {
 // UpdatedProcessingTimeWith is UpdatedProcessingTime with a caller-
 // supplied effective duration per phase.
 func (s *JobState) UpdatedProcessingTimeWith(eff func(PhaseID) float64) float64 {
-	order, err := s.Job.TopoOrder()
-	if err != nil {
+	if len(s.Job.Phases) == 1 {
+		// Single-phase jobs (the common trace shape) have a trivial
+		// critical path: no ordering, no finish vector.
+		if s.phaseDone[0] {
+			return 0
+		}
+		return eff(0)
+	}
+	order, ok := s.topoOrder()
+	if !ok {
 		return 0
 	}
-	finish := make([]float64, len(s.Job.Phases))
+	if cap(s.finish) < len(s.Job.Phases) {
+		s.finish = make([]float64, len(s.Job.Phases))
+	}
+	finish := s.finish[:len(s.Job.Phases)]
 	longest := 0.0
 	for _, k := range order {
 		if s.phaseDone[k] {
@@ -294,6 +324,16 @@ func (s *JobState) UpdatedProcessingTimeWith(eff func(PhaseID) float64) float64 
 		}
 	}
 	return longest
+}
+
+// topoOrder returns the cached topological order of the job's phases,
+// or ok=false for an invalid (cyclic) DAG.
+func (s *JobState) topoOrder() ([]PhaseID, bool) {
+	if !s.topoDone {
+		order, err := s.Job.TopoOrder()
+		s.topo, s.topoBad, s.topoDone = order, err != nil, true
+	}
+	return s.topo, !s.topoBad
 }
 
 // Flowtime returns f_j − a_j, or -1 if the job has not finished.
