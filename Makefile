@@ -46,25 +46,32 @@ race:
 
 # Regenerate the checked-in bench trajectory: the Go micro-benchmarks
 # (BenchmarkRouterDrain et al., stdout only), the online-engine drain
-# (1M jobs at the full profile), the sharded-router drain, and the
-# multi-seed sweep grid. Leaves exactly BENCH_engine.json,
+# (1M jobs at the full profile plus the streamed replay profiles, 1M
+# to 25M jobs from an on-disk trace), the sharded-router drain, and
+# the multi-seed sweep grid. Leaves exactly BENCH_engine.json,
 # BENCH_router.json and BENCH_sweep.json behind — commit them with the
-# PR so the bench-gate has a baseline to compare against.
+# PR so the bench-gate has a baseline to compare against. Each profile
+# runs in its own forked subprocess so peak_rss_bytes is per profile,
+# not process-lifetime. The replay traces are generated on first use
+# (replay-25m.trace is ~9 GB) and reused afterwards.
 bench:
 	go test -bench=. -benchmem -run '^$$' ./...
-	go run ./cmd/dollymp-bench -drain engine -o BENCH_engine.json
+	go run ./cmd/dollymp-bench -drain engine -profiles short,full,short-2k,full-2k,replay-1m,replay-10m,replay-25m -o BENCH_engine.json
 	go run ./cmd/dollymp-bench -drain router -o BENCH_router.json
 	go run ./cmd/dollymp-bench -sweep -o BENCH_sweep.json
 	go run ./cmd/dollymp-bench -drain engine -profiles short -cpuprofile engine-short.cpu.pprof -o /dev/null
 
-# Re-run the short drain profiles (including the 2000-server engine
-# profile) and fail if jobs/s dropped or peak RSS rose more than 10%
-# against the committed baselines (what CI's bench-gate job runs). The
-# engine run also captures a CPU pprof so a regression is diagnosable
-# from the CI artifact alone. Fresh reports and profiles are kept for
-# artifact upload and removed by `make clean`.
+# Re-run the short drain profiles — including the 2000-server engine
+# profile and the streamed replay-1m profile (generating its trace on
+# first use) — and fail if jobs/s dropped or peak RSS rose more than
+# 10% against the committed baselines (what CI's bench-gate job runs).
+# Every profile runs in a forked subprocess, so the gated peak RSS is
+# per profile. The engine run also captures per-profile CPU pprofs so
+# a regression is diagnosable from the CI artifact alone. Fresh
+# reports, profiles and the generated trace are kept for artifact
+# upload and removed by `make clean`.
 bench-gate:
-	go run ./cmd/dollymp-bench -drain engine -profiles short,short-2k -cpuprofile engine-short.cpu.pprof -o BENCH_engine.fresh.json
+	go run ./cmd/dollymp-bench -drain engine -profiles short,short-2k,replay-1m -cpuprofile engine-short.cpu.pprof -o BENCH_engine.fresh.json
 	go run ./cmd/dollymp-bench -drain router -profiles short -o BENCH_router.fresh.json
 	go run ./cmd/dollymp-bench -gate -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
 	go run ./cmd/dollymp-bench -gate -baseline BENCH_router.json -fresh BENCH_router.fresh.json
@@ -83,6 +90,7 @@ cover:
 
 # Remove generated-but-uncommitted artifacts. The committed BENCH_*.json
 # baselines are deliberately NOT cleaned; *.fresh.json are the
-# bench-gate's throwaway comparison runs.
+# bench-gate's throwaway comparison runs, *.trace the generated replay
+# traces (multi-GB at the 10M/25M scales; regenerated on next use).
 clean:
-	rm -f cover.out *.fresh.json cpu.pprof mem.pprof *.cpu.pprof
+	rm -f cover.out *.fresh.json cpu.pprof mem.pprof *.pprof *.trace *.trace.tmp

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -34,10 +36,23 @@ type drainOptions struct {
 	area     string // "engine" or "router"
 	profiles string // comma-separated subset of the area's profile names
 	out      string // JSON path; "-" = stdout
+	// traceDir is where replay profiles find (or generate) their
+	// streamed trace files.
+	traceDir string
 	// cpuprofile/memprofile capture pprof data over the measured drains —
 	// the diagnosable artifact CI uploads alongside the bench-gate result.
+	// Under isolation each per-profile child writes its own, with the
+	// profile name inserted before the extension.
 	cpuprofile string
 	memprofile string
+	// isolate re-execs one child per profile so peak RSS is measured
+	// per profile rather than per process lifetime (isolate.go). main
+	// sets it; re-exec'd children and unit tests leave it off.
+	isolate bool
+	// jsonOut overrides where an out of "-" writes the report (nil =
+	// the progress writer). Children set it to real stdout so progress
+	// on stderr can't corrupt the report the parent parses.
+	jsonOut io.Writer
 }
 
 // drainProfile fixes one measurement's scale. Profiles are named so the
@@ -48,6 +63,10 @@ type drainProfile struct {
 	jobs   int
 	fleet  int
 	shards int // router only
+	// trace marks a replay profile: the basename of the streamed trace
+	// file (under -trace-dir) drained instead of synthetic jobs.
+	ballastMB int // rss-* fixture profiles: heap held live through the drain
+	trace     string
 }
 
 func engineProfiles() []drainProfile {
@@ -72,6 +91,23 @@ func routerProfiles() []drainProfile {
 	}
 }
 
+// extraEngineProfiles are selectable by name but excluded from the
+// default `-drain engine` set: the replay profiles because the larger
+// two stream for many minutes (and generate multi-GB traces on first
+// use), the rss-* pair because they are fixtures for the per-profile
+// peak-RSS regression test, not benchmarks — ballast holds a large
+// live heap through a small drain, lean runs the same drain without
+// it, and a correct per-profile measurement must tell them apart.
+func extraEngineProfiles() []drainProfile {
+	return []drainProfile{
+		{name: "replay-1m", jobs: 1_000_000, fleet: replayFleet, trace: "replay-1m.trace"},
+		{name: "replay-10m", jobs: 10_000_000, fleet: replayFleet, trace: "replay-10m.trace"},
+		{name: "replay-25m", jobs: 25_000_000, fleet: replayFleet, trace: "replay-25m.trace"},
+		{name: "rss-ballast", jobs: 2_000, fleet: 8, ballastMB: 256},
+		{name: "rss-lean", jobs: 2_000, fleet: 8},
+	}
+}
+
 // drainRun is one measured drain in a BENCH_engine.json /
 // BENCH_router.json report. peak_rss_bytes is omitted where
 // /proc/self/status is unavailable.
@@ -80,6 +116,7 @@ type drainRun struct {
 	Jobs         int     `json:"jobs"`
 	Fleet        int     `json:"fleet"`
 	Shards       int     `json:"shards,omitempty"`
+	Trace        string  `json:"trace,omitempty"`
 	Scheduler    string  `json:"scheduler"`
 	Seed         uint64  `json:"seed"`
 	ClockSlots   int64   `json:"clock_slots"`
@@ -113,6 +150,9 @@ func parseProfiles(area, s string) ([]drainProfile, error) {
 	if s == "" {
 		return all, nil
 	}
+	if area == "engine" {
+		all = append(all, extraEngineProfiles()...)
+	}
 	var out []drainProfile
 	for _, name := range strings.Split(s, ",") {
 		name = strings.TrimSpace(name)
@@ -136,12 +176,15 @@ func parseProfiles(area, s string) ([]drainProfile, error) {
 }
 
 // runDrainMode executes the selected profiles and writes the report.
+// With opts.isolate each profile runs in a re-exec'd child so its peak
+// RSS covers that profile alone; pprof capture then happens in the
+// children (per-profile files), not here.
 func runDrainMode(opts drainOptions, stdout io.Writer) error {
 	profiles, err := parseProfiles(opts.area, opts.profiles)
 	if err != nil {
 		return err
 	}
-	if opts.cpuprofile != "" {
+	if opts.cpuprofile != "" && !opts.isolate {
 		f, err := os.Create(opts.cpuprofile)
 		if err != nil {
 			return err
@@ -152,7 +195,7 @@ func runDrainMode(opts drainOptions, stdout io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if opts.memprofile != "" {
+	if opts.memprofile != "" && !opts.isolate {
 		defer func() {
 			f, err := os.Create(opts.memprofile)
 			if err != nil {
@@ -169,11 +212,17 @@ func runDrainMode(opts drainOptions, stdout io.Writer) error {
 	for _, p := range profiles {
 		var run drainRun
 		var err error
-		switch opts.area {
-		case "engine":
-			run, err = engineDrain(p)
-		case "router":
-			run, err = routerDrain(p)
+		forked := false
+		if opts.isolate {
+			run, forked, err = drainProfileIsolated(opts, p, stdout)
+		}
+		if !forked && err == nil {
+			// In-process: return freed heap to the OS and reset the
+			// high-water mark first, so this profile doesn't inherit the
+			// largest earlier peak. Best-effort — re-exec is the real fix.
+			debug.FreeOSMemory()
+			resetPeakRSS()
+			run, err = runProfile(opts, p, stdout)
 		}
 		if err != nil {
 			return fmt.Errorf("drain %s/%s: %w", opts.area, p.name, err)
@@ -187,13 +236,29 @@ func runDrainMode(opts drainOptions, stdout io.Writer) error {
 	if out == "" {
 		out = "BENCH_" + opts.area + ".json"
 	}
-	if err := writeJSON(out, &report, stdout); err != nil {
+	jsonW := opts.jsonOut
+	if jsonW == nil {
+		jsonW = stdout
+	}
+	if err := writeJSON(out, &report, jsonW); err != nil {
 		return err
 	}
 	if out != "-" {
 		fmt.Fprintf(stdout, "wrote %s (%d runs)\n", out, len(report.Runs))
 	}
 	return nil
+}
+
+// runProfile dispatches one in-process profile run.
+func runProfile(opts drainOptions, p drainProfile, progress io.Writer) (drainRun, error) {
+	switch {
+	case opts.area == "router":
+		return routerDrain(p)
+	case p.trace != "":
+		return replayDrain(p, opts.traceDir, progress)
+	default:
+		return engineDrain(p)
+	}
 }
 
 // drainJob builds the i-th synthetic job of a drain workload: a
@@ -229,6 +294,17 @@ func engineDrain(p drainProfile) (drainRun, error) {
 	})
 	if err != nil {
 		return drainRun{}, err
+	}
+
+	// The rss-ballast fixture holds a touched heap block live through
+	// the whole drain, so its peak RSS must sit ~ballastMB above the
+	// otherwise-identical rss-lean profile's.
+	var ballast []byte
+	if p.ballastMB > 0 {
+		ballast = make([]byte, p.ballastMB<<20)
+		for i := 0; i < len(ballast); i += 4096 {
+			ballast[i] = 1
+		}
 	}
 
 	// Arrival pacing: target roughly half of fleet core-slot capacity so
@@ -291,6 +367,7 @@ func engineDrain(p drainProfile) (drainRun, error) {
 	if rss, ok := peakRSSBytes(); ok {
 		run.PeakRSSBytes = rss
 	}
+	runtime.KeepAlive(ballast) // resident until after the RSS read
 	return run, nil
 }
 

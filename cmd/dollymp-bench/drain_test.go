@@ -17,6 +17,17 @@ func TestParseProfiles(t *testing.T) {
 	if err != nil || len(twoK) != 2 || twoK[1].fleet != 2000 {
 		t.Fatalf("2k subset: %v, err %v", twoK, err)
 	}
+	// Replay and rss-* fixture profiles are selectable by name but not
+	// part of the default set (the replays stream for minutes).
+	replay, err := parseProfiles("engine", "replay-1m,rss-ballast")
+	if err != nil || len(replay) != 2 || replay[0].trace == "" || replay[1].ballastMB == 0 {
+		t.Fatalf("extra profiles: %v, err %v", replay, err)
+	}
+	for _, p := range all {
+		if p.trace != "" || p.ballastMB != 0 {
+			t.Fatalf("default set must not include extra profile %q", p.name)
+		}
+	}
 	short, err := parseProfiles("router", "short")
 	if err != nil || len(short) != 1 || short[0].name != "short" {
 		t.Fatalf("router short subset: %v, err %v", short, err)

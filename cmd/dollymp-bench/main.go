@@ -138,7 +138,8 @@ func main() {
 		opts      sweepOptions
 
 		drainArea = flag.String("drain", "", "run a drain benchmark instead of figures: engine (online-engine job drain) or router (sharded service drain)")
-		profiles  = flag.String("profiles", "", "comma-separated drain profiles to run (short,full; default all)")
+		profiles  = flag.String("profiles", "", "comma-separated drain profiles to run (short,full,...; default all; replay-1m/10m/25m stream a trace from disk)")
+		traceDir  = flag.String("trace-dir", ".", "directory holding (or receiving generated) replay traces for the replay-* profiles")
 
 		gateMode = flag.Bool("gate", false, "compare a fresh drain report against a committed baseline and fail on regression")
 		gateOpts gateOptions
@@ -171,10 +172,21 @@ func main() {
 				out = opts.out
 			}
 		})
-		err = runDrainMode(drainOptions{
-			area: *drainArea, profiles: *profiles, out: out,
+		dopts := drainOptions{
+			area: *drainArea, profiles: *profiles, out: out, traceDir: *traceDir,
 			cpuprofile: opts.cpuprofile, memprofile: opts.memprofile,
-		}, os.Stdout)
+		}
+		progress := io.Writer(os.Stdout)
+		if os.Getenv(rssChildEnv) != "" {
+			// Re-exec'd single-profile child: the parent parses our
+			// stdout as JSON, so progress goes to stderr instead, and we
+			// must not fork further children.
+			progress = os.Stderr
+			dopts.jsonOut = os.Stdout
+		} else {
+			dopts.isolate = true
+		}
+		err = runDrainMode(dopts, progress)
 	case *sweepMode:
 		opts.scale = *scaleName
 		err = runSweepMode(opts, os.Stdout)

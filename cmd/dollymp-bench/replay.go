@@ -1,0 +1,161 @@
+package main
+
+// Streamed trace replay: the replay-1m/10m/25m engine profiles. A
+// replay drain decodes a framed on-disk trace (internal/trace stream
+// format) one job at a time and feeds the online engine through the
+// same bounded lookahead window the synthetic drain uses, so memory
+// holds the live set — pending window + active jobs — never the trace.
+// Result recording is compacted (sim.Config.CompactJobs), so the
+// 25M-job run folds per-job metrics into the JCT histogram instead of
+// retaining 25M records: peak RSS must stay flat from 1M to 25M jobs,
+// and the bench gate holds it there.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dollymp/internal/cluster"
+	"dollymp/internal/core"
+	"dollymp/internal/sim"
+	"dollymp/internal/trace"
+)
+
+// Replay trace generation parameters. The GoogleLike generator emits
+// Poisson gaps of at least one slot, so arrival rate tops out at ~1
+// job/slot regardless of MeanGap; the 32-server fleet (~410 cores) puts
+// that rate at a moderate ~35% load, busy without a growing backlog —
+// a backlog would itself be O(jobs) memory and defeat the measurement.
+const (
+	replaySeed    = 42
+	replayMeanGap = 1.0
+	replayFleet   = 32
+)
+
+// ensureTrace generates a streamed GoogleLike trace at path if absent.
+// Generation streams straight to disk (O(1) memory) and lands under a
+// temporary name first, so an interrupted run leaves no torn trace
+// behind for the next replay to trip on.
+func ensureTrace(path string, jobs int, progress io.Writer) error {
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	fmt.Fprintf(progress, "generating %s (%d jobs)...\n", path, jobs)
+	tmp := path + ".tmp"
+	w, err := trace.CreateStream(tmp)
+	if err != nil {
+		return err
+	}
+	g := trace.DefaultGoogleLike(jobs, replayMeanGap, replaySeed)
+	if err := g.Emit(w.Append); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("generate %s: %w", path, err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("generate %s: %w", path, err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// replayDrain streams p.trace from traceDir through the online engine.
+func replayDrain(p drainProfile, traceDir string, progress io.Writer) (drainRun, error) {
+	if traceDir == "" {
+		traceDir = "."
+	}
+	path := filepath.Join(traceDir, p.trace)
+	if err := ensureTrace(path, p.jobs, progress); err != nil {
+		return drainRun{}, err
+	}
+
+	scheduler, err := core.New(core.WithClones(2))
+	if err != nil {
+		return drainRun{}, err
+	}
+	const seed = 1
+	eng, err := sim.New(sim.Config{
+		Cluster:     cluster.LargeFleet(p.fleet, seed),
+		Scheduler:   scheduler,
+		Seed:        seed,
+		Online:      true,
+		CompactJobs: true,
+		MaxSlots:    1 << 62,
+	})
+	if err != nil {
+		return drainRun{}, err
+	}
+	s, err := trace.OpenStream(path)
+	if err != nil {
+		return drainRun{}, err
+	}
+	defer s.Close()
+
+	const window = 4096 // max decoded-but-not-arrived jobs
+	start := time.Now()
+	drained := false
+	pendingPeak := 0
+	reported := 0
+	inject := func() error {
+		for !drained && eng.PendingArrivals() < window {
+			j, err := s.Next()
+			if err == io.EOF {
+				drained = true
+				break
+			}
+			if err != nil {
+				return err // *trace.CorruptError with the byte offset
+			}
+			if _, err := eng.InjectJob(j); err != nil {
+				return fmt.Errorf("inject frame %d: %w", s.Decoded()-1, err)
+			}
+		}
+		if pa := eng.PendingArrivals(); pa > pendingPeak {
+			pendingPeak = pa
+		}
+		return nil
+	}
+	if err := inject(); err != nil {
+		return drainRun{}, err
+	}
+	for {
+		idle, err := eng.Step()
+		if err != nil {
+			return drainRun{}, err
+		}
+		if err := inject(); err != nil {
+			return drainRun{}, err
+		}
+		if done := eng.CompletedJobs(); done-reported >= 1_000_000 {
+			reported = done
+			fmt.Fprintf(progress, "  %s: %dM jobs done, %.0f jobs/s\n",
+				p.name, done/1_000_000, float64(done)/time.Since(start).Seconds())
+		}
+		if idle && drained {
+			break
+		}
+	}
+	wall := time.Since(start)
+	res := eng.Finalize()
+	if int64(p.jobs) != s.Decoded() {
+		return drainRun{}, fmt.Errorf("%s holds %d jobs, profile expects %d (stale trace? rm it to regenerate)",
+			path, s.Decoded(), p.jobs)
+	}
+	if res.Completed != p.jobs {
+		return drainRun{}, fmt.Errorf("completed %d of %d jobs", res.Completed, p.jobs)
+	}
+
+	run := drainRun{
+		Profile: p.name, Jobs: p.jobs, Fleet: p.fleet, Trace: p.trace,
+		Scheduler: scheduler.Name(), Seed: seed,
+		ClockSlots: eng.Clock(), WallTimeNs: wall.Nanoseconds(),
+		JobsPerSec:  float64(p.jobs) / wall.Seconds(),
+		PendingPeak: pendingPeak,
+	}
+	if rss, ok := peakRSSBytes(); ok {
+		run.PeakRSSBytes = rss
+	}
+	return run, nil
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"dollymp/internal/trace"
+)
+
+// TestReplayDrainSmoke streams a miniature generated trace end to end:
+// the trace is created on first use, every job completes, and the
+// lookahead window bounds the pending high-water mark.
+func TestReplayDrainSmoke(t *testing.T) {
+	dir := t.TempDir()
+	p := drainProfile{name: "replay-smoke", jobs: 400, fleet: 8, trace: "replay-smoke.trace"}
+	run, err := replayDrain(p, dir, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Jobs != 400 || run.ClockSlots <= 0 || run.JobsPerSec <= 0 {
+		t.Fatalf("implausible run %+v", run)
+	}
+	if run.PendingPeak <= 0 || run.PendingPeak > 4096 {
+		t.Fatalf("pending peak %d outside (0, window]", run.PendingPeak)
+	}
+	if run.Trace != p.trace {
+		t.Fatalf("trace %q not recorded", run.Trace)
+	}
+	// Second run reuses the trace file rather than regenerating.
+	before, err := os.Stat(filepath.Join(dir, p.trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayDrain(p, dir, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(filepath.Join(dir, p.trace))
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("second replay regenerated the trace")
+	}
+	// A stale trace (wrong job count for the profile) is an error, not a
+	// silently short run.
+	p.jobs = 500
+	if _, err := replayDrain(p, dir, io.Discard); err == nil {
+		t.Fatal("job-count mismatch with the trace must fail")
+	}
+}
+
+// TestReplayDrainSurfacesCorruption truncates a generated trace mid
+// frame: the replay must fail with the typed positional error, not a
+// bare decode error or a short-but-successful run.
+func TestReplayDrainSurfacesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	p := drainProfile{name: "replay-torn", jobs: 200, fleet: 8, trace: "replay-torn.trace"}
+	path := filepath.Join(dir, p.trace)
+	if err := ensureTrace(path, p.jobs, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = replayDrain(p, dir, io.Discard)
+	var ce *trace.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("torn trace must surface *trace.CorruptError, got %v", err)
+	}
+	if ce.Offset <= 0 || ce.Frame < 0 {
+		t.Fatalf("corrupt error lacks position: %+v", ce)
+	}
+}
+
+// readBenchReport decodes a drain report written to disk by a bench
+// invocation and indexes its runs by profile.
+func readBenchReport(t *testing.T, path string) map[string]drainRun {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep drainReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]drainRun, len(rep.Runs))
+	for _, r := range rep.Runs {
+		byName[r.Profile] = r
+	}
+	return byName
+}
+
+// requireDistinctPeaks asserts the regression this PR fixes: two
+// sequential profiles with very different live sets — rss-ballast holds
+// 256 MiB through its drain, rss-lean doesn't — must not report
+// (near-)identical peaks. Before per-profile isolation, lean (run
+// second) inherited ballast's process-lifetime VmHWM byte for byte.
+func requireDistinctPeaks(t *testing.T, runs map[string]drainRun) {
+	t.Helper()
+	ballast, lean := runs["rss-ballast"], runs["rss-lean"]
+	if ballast.PeakRSSBytes == 0 || lean.PeakRSSBytes == 0 {
+		t.Skip("peak RSS unavailable on this platform")
+	}
+	const slack = 128 << 20 // half the ballast
+	if lean.PeakRSSBytes > ballast.PeakRSSBytes-slack {
+		t.Fatalf("rss-lean peak %d not clearly below rss-ballast peak %d: per-profile isolation broken",
+			lean.PeakRSSBytes, ballast.PeakRSSBytes)
+	}
+}
+
+// TestPerProfilePeakRSSSubprocess is the end-to-end check through the
+// real binary: one invocation, two profiles, distinct peaks.
+func TestPerProfilePeakRSSSubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the bench binary")
+	}
+	dir := t.TempDir()
+	exe := filepath.Join(dir, "dollymp-bench")
+	build := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	report := filepath.Join(dir, "report.json")
+	cmd := exec.Command(exe, "-drain", "engine", "-profiles", "rss-ballast,rss-lean", "-o", report)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("bench run: %v\n%s", err, out.String())
+	}
+	requireDistinctPeaks(t, readBenchReport(t, report))
+}
+
+// TestPerProfilePeakRSSInProcessFallback exercises the no-fork path:
+// FreeOSMemory + a /proc/self/clear_refs reset between profiles must
+// still keep the peaks apart.
+func TestPerProfilePeakRSSInProcessFallback(t *testing.T) {
+	if !resetPeakRSS() {
+		t.Skip("/proc/self/clear_refs unsupported")
+	}
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	var progress bytes.Buffer
+	err := runDrainMode(drainOptions{
+		area: "engine", profiles: "rss-ballast,rss-lean", out: report,
+	}, &progress)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, progress.String())
+	}
+	requireDistinctPeaks(t, readBenchReport(t, report))
+}

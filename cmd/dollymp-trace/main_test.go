@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dollymp"
@@ -10,21 +13,58 @@ import (
 )
 
 func TestGenerateWorkloads(t *testing.T) {
-	// realMain writes to stdout; just verify it succeeds per workload.
 	for _, wl := range []string{"mixed", "google", "pagerank", "wordcount"} {
-		if err := realMain(wl, 5, 4, 1, ""); err != nil {
-			t.Fatalf("%s: %v", wl, err)
+		for _, format := range []string{"json", "stream"} {
+			var out bytes.Buffer
+			if err := realMain(options{workload: wl, jobs: 5, gap: 4, seed: 1, format: format, out: "-"}, &out); err != nil {
+				t.Fatalf("%s/%s: %v", wl, format, err)
+			}
+			if isStream := trace.IsStream(out.Bytes()); isStream != (format == "stream") {
+				t.Fatalf("%s/%s: output stream=%v", wl, format, isStream)
+			}
 		}
 	}
-	if err := realMain("nosuch", 5, 4, 1, ""); err == nil {
+	if err := realMain(options{workload: "nosuch", jobs: 5, format: "json", out: "-"}, io.Discard); err == nil {
 		t.Error("unknown workload accepted")
+	}
+	if err := realMain(options{workload: "google", jobs: 5, format: "csv", out: "-"}, io.Discard); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestStreamGenerationMatchesEnvelope: the streamed google trace holds
+// the same jobs as the envelope one — same generator, same seed
+// discipline — just framed.
+func TestStreamGenerationMatchesEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.trace")
+	if err := realMain(options{workload: "google", jobs: 20, gap: 3, seed: 7, format: "stream", out: path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.OpenStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := dollymp.GoogleWorkload(20, 3, 7)
+	for i, wj := range want {
+		j, err := s.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if j.ID != wj.ID || j.Arrival != wj.Arrival || len(j.Phases) != len(wj.Phases) {
+			t.Fatalf("frame %d: got %v/%d, want %v/%d", i, j.ID, j.Arrival, wj.ID, wj.Arrival)
+		}
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("trailing frames: %v", err)
 	}
 }
 
 func TestInspect(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "jobs.json")
-	f, err := os.Create(path)
+	jsonPath := filepath.Join(dir, "jobs.json")
+	f, err := os.Create(jsonPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,10 +74,132 @@ func TestInspect(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := realMain("", 0, 0, 0, path); err != nil {
+	var out bytes.Buffer
+	if err := realMain(options{inspect: jsonPath}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := realMain("", 0, 0, 0, filepath.Join(dir, "missing.json")); err == nil {
+	if !strings.Contains(out.String(), "json envelope") || !strings.Contains(out.String(), "jobs:           5") {
+		t.Fatalf("envelope inspect output:\n%s", out.String())
+	}
+
+	streamPath := filepath.Join(dir, "jobs.trace")
+	if err := realMain(options{workload: "google", jobs: 5, gap: 3, seed: 7, format: "stream", out: streamPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := realMain(options{inspect: streamPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "format:         stream") || !strings.Contains(out.String(), "jobs:           5") {
+		t.Fatalf("stream inspect output:\n%s", out.String())
+	}
+
+	if err := realMain(options{inspect: filepath.Join(dir, "missing.json")}, io.Discard); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestInspectSurfacesCorruption: a torn stream and a truncated envelope
+// both inspect to the typed positional error.
+func TestInspectSurfacesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := filepath.Join(dir, "torn.trace")
+	if err := realMain(options{workload: "google", jobs: 5, gap: 3, seed: 7, format: "stream", out: streamPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(streamPath, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = realMain(options{inspect: streamPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "byte ") {
+		t.Fatalf("torn stream inspect must name the byte offset, got %v", err)
+	}
+	if !strings.Contains(out.String(), "jobs:           4") {
+		t.Fatalf("intact prefix not described:\n%s", out.String())
+	}
+
+	jsonPath := filepath.Join(dir, "torn.json")
+	var env bytes.Buffer
+	if err := trace.Write(&env, dollymp.GoogleWorkload(5, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, env.Bytes()[:env.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = realMain(options{inspect: jsonPath}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "byte ") {
+		t.Fatalf("truncated envelope inspect must name the byte offset, got %v", err)
+	}
+}
+
+// TestCompact: envelope → stream conversion, and torn-stream compaction
+// down to the intact prefix.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "jobs.json")
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, dollymp.GoogleWorkload(6, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	streamPath := filepath.Join(dir, "jobs.trace")
+	if err := realMain(options{compact: jsonPath, out: streamPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.OpenStream(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := s.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	s.Close()
+	if n != 6 {
+		t.Fatalf("compacted stream holds %d jobs, want 6", n)
+	}
+
+	// Tear the stream and compact it back to the intact prefix.
+	b, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(streamPath, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed := filepath.Join(dir, "fixed.trace")
+	if err := realMain(options{compact: streamPath, out: fixed}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := trace.OpenStream(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n = 0
+	for {
+		if _, err := s2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("compacted output must be fully intact: %v", err)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("torn-tail compaction kept %d jobs, want 5", n)
 	}
 }

@@ -69,6 +69,15 @@ type Config struct {
 	// Start/Step while jobs stream in (see online.go). Batch runs via
 	// Run are unaffected.
 	Online bool
+	// CompactJobs folds each finished job into Result.Digest (exact
+	// count/sum/min/max, log-bucket flowtime and running-time
+	// histograms) instead of appending a JobMetrics record to
+	// Result.Jobs, so a multi-million-job replay's Result stays a few
+	// hundred bytes instead of growing O(jobs). Per-job callbacks
+	// (OnJobComplete) still fire with the full record; only retention
+	// changes. Figure-level analyses that need per-job series (ECDFs,
+	// per-job ratios) must leave this off.
+	CompactJobs bool
 	// OnJobStart, if set, is called when a job's first copy is placed,
 	// with the job ID and the launch slot. Called from the engine's
 	// goroutine, synchronously inside Step.
@@ -131,18 +140,22 @@ type Engine struct {
 	cfg    Config
 	clock  int64
 	states map[workload.JobID]*workload.JobState
+	// done is the paged bitmap of completed-and-released job IDs: the
+	// duplicate-ID guard that replaced per-job nil markers in states
+	// (which pinned a map entry per job ever run).
+	done idSet
 	// arrivals holds not-yet-arrived jobs as an indexed min-heap keyed
 	// (arrival, ID); popped entries are released (see arrivals.go).
 	arrivals arrivalQueue
 	active   []*workload.JobState // arrived, unfinished
 
-	copies     map[workload.TaskRef][]*taskCopy
-	running    copyHeap
+	copies  map[workload.TaskRef][]*taskCopy
+	running copyHeap
 	// copyFree recycles taskCopy objects between placements — the
 	// per-event allocation the profiler flags on the drain hot path. A
 	// copy returns to the list only once it is out of both e.copies and
 	// the running heap.
-	copyFree []*taskCopy
+	copyFree   []*taskCopy
 	rng        *stats.RNG
 	dists      map[phaseKey]stats.Pareto
 	observed   map[phaseKey]*stats.Summary
@@ -206,6 +219,9 @@ func New(cfg Config) (*Engine, error) {
 		alloc:      make(map[workload.JobID]resources.Vector, len(cfg.Jobs)),
 
 		copiesPerTask: make(map[phaseKey]*stats.Summary),
+	}
+	if cfg.CompactJobs {
+		e.res.Digest = &JobDigest{}
 	}
 	events, err := sortEvents(cfg.Events, cfg.Cluster)
 	if err != nil {
@@ -476,11 +492,13 @@ func (e *Engine) completeTask(winner *taskCopy) error {
 // completed and its metrics are recorded. Every per-phase map is keyed
 // (job, phase) and only ever consulted while that job runs, so the
 // entries are dead weight afterwards; a long-lived online engine must
-// not retain them per job ever completed. The states entry is kept as a
-// nil marker so InjectJob still rejects re-use of a finished job ID.
+// not retain them per job ever completed. The finished ID moves into
+// the done bitmap (one bit, not a map tombstone) so InjectJob still
+// rejects re-use of a finished job ID at any replay scale.
 func (e *Engine) releaseJob(js *workload.JobState) {
 	id := js.Job.ID
-	e.states[id] = nil
+	delete(e.states, id)
+	e.done.Add(id)
 	delete(e.alloc, id)
 	for k := range js.Job.Phases {
 		key := phaseKey{id, workload.PhaseID(k)}
@@ -528,10 +546,10 @@ func (e *Engine) scheduleLoop() error {
 func (e *Engine) applyPlacement(p sched.Placement) error {
 	js, ok := e.states[p.Ref.Job]
 	if !ok {
+		if e.done.Has(p.Ref.Job) {
+			return fmt.Errorf("sim: placement for completed job %d", p.Ref.Job)
+		}
 		return fmt.Errorf("sim: placement for unknown job %d", p.Ref.Job)
-	}
-	if js == nil {
-		return fmt.Errorf("sim: placement for completed job %d", p.Ref.Job)
 	}
 	if js.Job.Arrival > e.clock {
 		return fmt.Errorf("sim: placement for job %d before its arrival", p.Ref.Job)

@@ -39,7 +39,7 @@ func (e *Engine) InjectJob(j *workload.Job) (int64, error) {
 	if err := j.Validate(); err != nil {
 		return 0, fmt.Errorf("sim: inject: %w", err)
 	}
-	if _, dup := e.states[j.ID]; dup {
+	if _, dup := e.states[j.ID]; dup || e.done.Has(j.ID) {
 		return 0, fmt.Errorf("sim: inject: duplicate job ID %d", j.ID)
 	}
 	if j.Arrival < e.clock {
@@ -74,7 +74,7 @@ func (e *Engine) ActiveJobs() int { return len(e.active) }
 func (e *Engine) PendingArrivals() int { return e.arrivals.Len() }
 
 // CompletedJobs returns the number of jobs that have finished so far.
-func (e *Engine) CompletedJobs() int { return len(e.res.Jobs) }
+func (e *Engine) CompletedJobs() int { return e.res.Completed }
 
 // Finalize computes the run-level aggregates (average utilization) and
 // returns the result collected so far. Safe to call repeatedly; Run

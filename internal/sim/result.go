@@ -33,10 +33,41 @@ type JobMetrics struct {
 	TotalTasks     int
 }
 
+// JobDigest aggregates per-job metrics when Config.CompactJobs is set:
+// the run-level statistics of §6.2 (flowtime and running-time
+// distributions, clone counts) in a few hundred bytes, instead of one
+// JobMetrics record per job — the difference between a bounded and a
+// multi-gigabyte Result at 25M replayed jobs. Count/sum/min/max/mean
+// are exact; distribution quantiles are factor-of-2 log-bucket bounds.
+type JobDigest struct {
+	// Flowtime aggregates f_j − a_j (slots), the paper's primary metric.
+	Flowtime stats.LogHist
+	// RunningTime aggregates f_j minus the first copy start.
+	RunningTime stats.LogHist
+	// CopiesLaunched, TasksCloned and TotalTasks sum the per-job counts.
+	CopiesLaunched int64
+	TasksCloned    int64
+	TotalTasks     int64
+}
+
+// observe folds one finished job into the digest.
+func (d *JobDigest) observe(m *JobMetrics) {
+	d.Flowtime.Observe(m.Flowtime)
+	d.RunningTime.Observe(m.RunningTime)
+	d.CopiesLaunched += int64(m.CopiesLaunched)
+	d.TasksCloned += int64(m.TasksCloned)
+	d.TotalTasks += int64(m.TotalTasks)
+}
+
 // Result is the outcome of one simulation run.
 type Result struct {
 	Scheduler string
 	Jobs      []JobMetrics
+	// Completed counts finished jobs. It equals len(Jobs) except under
+	// Config.CompactJobs, where Jobs stays empty and Digest aggregates.
+	Completed int
+	// Digest is the aggregated per-job record (Config.CompactJobs only).
+	Digest *JobDigest
 	// Makespan is the slot at which the last job finished.
 	Makespan int64
 	// TotalUsage is the cluster-wide resource-time product.
@@ -96,7 +127,7 @@ type TraceEvent struct {
 }
 
 func (e *Engine) recordJob(js *workload.JobState) {
-	e.res.Jobs = append(e.res.Jobs, JobMetrics{
+	m := JobMetrics{
 		ID:             js.Job.ID,
 		Name:           js.Job.Name,
 		App:            js.Job.App,
@@ -109,12 +140,18 @@ func (e *Engine) recordJob(js *workload.JobState) {
 		CopiesLaunched: js.CopiesLaunched,
 		TasksCloned:    js.TasksCloned,
 		TotalTasks:     js.Job.TotalTasks(),
-	})
+	}
+	e.res.Completed++
+	if e.cfg.CompactJobs {
+		e.res.Digest.observe(&m)
+	} else {
+		e.res.Jobs = append(e.res.Jobs, m)
+	}
 	if js.Finish > e.res.Makespan {
 		e.res.Makespan = js.Finish
 	}
 	if e.cfg.OnJobComplete != nil {
-		e.cfg.OnJobComplete(e.res.Jobs[len(e.res.Jobs)-1])
+		e.cfg.OnJobComplete(m)
 	}
 }
 
@@ -146,8 +183,12 @@ func (r *Result) RunningTimes() []float64 {
 	return out
 }
 
-// TotalFlowtime returns Σ (f_j − a_j), the objective of (OPT).
+// TotalFlowtime returns Σ (f_j − a_j), the objective of (OPT). Exact in
+// both retention modes: the digest keeps the exact flowtime sum.
 func (r *Result) TotalFlowtime() int64 {
+	if r.Digest != nil {
+		return r.Digest.Flowtime.Sum()
+	}
 	var sum int64
 	for _, j := range r.Jobs {
 		sum += j.Flowtime
@@ -157,10 +198,10 @@ func (r *Result) TotalFlowtime() int64 {
 
 // MeanFlowtime returns the average job flowtime.
 func (r *Result) MeanFlowtime() float64 {
-	if len(r.Jobs) == 0 {
+	if r.Completed == 0 {
 		return 0
 	}
-	return float64(r.TotalFlowtime()) / float64(len(r.Jobs))
+	return float64(r.TotalFlowtime()) / float64(r.Completed)
 }
 
 // ByJobID returns per-job metrics keyed by job ID, for cross-scheduler
@@ -174,12 +215,16 @@ func (r *Result) ByJobID() map[workload.JobID]JobMetrics {
 }
 
 // ClonedTaskFraction returns the fraction of all tasks that received at
-// least one clone (Fig. 10b).
+// least one clone (Fig. 10b). Exact in both retention modes.
 func (r *Result) ClonedTaskFraction() float64 {
-	tasks, cloned := 0, 0
-	for _, j := range r.Jobs {
-		tasks += j.TotalTasks
-		cloned += j.TasksCloned
+	var tasks, cloned int64
+	if r.Digest != nil {
+		tasks, cloned = r.Digest.TotalTasks, r.Digest.TasksCloned
+	} else {
+		for _, j := range r.Jobs {
+			tasks += int64(j.TotalTasks)
+			cloned += int64(j.TasksCloned)
+		}
 	}
 	if tasks == 0 {
 		return 0

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// LogHist is a fixed-size histogram over non-negative integer values
+// with power-of-two bucket boundaries: bucket 0 counts zeros and ones,
+// bucket i ≥ 1 counts values in [2^i, 2^(i+1)). Sixty-four buckets
+// cover the full int64 range, so the struct is a few hundred bytes no
+// matter how many observations it absorbs — the aggregation the
+// 25M-job replay folds per-job flowtimes into instead of retaining
+// 25M JobMetrics records. Exact count/sum/min/max ride along, so the
+// only lossy quantity is the within-bucket distribution (quantiles are
+// exact to a factor of 2).
+type LogHist struct {
+	Buckets [64]int64
+	N       int64
+	Total   int64
+	MinV    int64
+	MaxV    int64
+}
+
+// Observe adds one value. Negative values are clamped to zero (a
+// flowtime can't be negative; clamping keeps a corrupt input visible in
+// bucket 0 rather than panicking mid-replay).
+func (h *LogHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.N == 0 || v < h.MinV {
+		h.MinV = v
+	}
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+	h.Buckets[bucketOf(v)]++
+	h.N++
+	h.Total += v
+}
+
+// bucketOf maps a non-negative value to its bucket index: 0 and 1 land
+// in bucket 0, values in [2^i, 2^(i+1)) in bucket i.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) - 1
+}
+
+// BucketLow returns the inclusive lower bound of bucket i (the
+// exclusive upper bound is BucketLow(i+1)).
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1 << uint(i)
+}
+
+// Count returns the number of observations.
+func (h *LogHist) Count() int64 { return h.N }
+
+// Sum returns the exact sum of all observations.
+func (h *LogHist) Sum() int64 { return h.Total }
+
+// Mean returns the exact mean of all observations.
+func (h *LogHist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Total) / float64(h.N)
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *LogHist) Min() int64 { return h.MinV }
+
+// Max returns the exact maximum observation (0 when empty).
+func (h *LogHist) Max() int64 { return h.MaxV }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// exclusive upper edge of the bucket holding the q-th observation,
+// tightened by the exact min/max. Accurate to a factor of 2 by
+// construction.
+func (h *LogHist) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.Buckets {
+		seen += h.Buckets[i]
+		if seen >= rank {
+			hi := BucketLow(i+1) - 1
+			if hi > h.MaxV {
+				hi = h.MaxV
+			}
+			if hi < h.MinV {
+				hi = h.MinV
+			}
+			return hi
+		}
+	}
+	return h.MaxV
+}
+
+// Merge folds another histogram into this one.
+func (h *LogHist) Merge(o *LogHist) {
+	if o.N == 0 {
+		return
+	}
+	if h.N == 0 || o.MinV < h.MinV {
+		h.MinV = o.MinV
+	}
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.N += o.N
+	h.Total += o.Total
+}
+
+// String renders the occupied buckets compactly, for logs and reports.
+func (h *LogHist) String() string {
+	if h.N == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f min=%d max=%d", h.N, h.Mean(), h.MinV, h.MaxV)
+	fmt.Fprintf(&b, " p50≤%d p95≤%d p99≤%d", h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestLogHistBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1 << 20, 20}, {(1 << 21) - 1, 20},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if c.v > 0 && BucketLow(bucketOf(c.v)) > c.v {
+			t.Errorf("BucketLow(bucketOf(%d)) = %d exceeds the value", c.v, BucketLow(bucketOf(c.v)))
+		}
+	}
+}
+
+func TestLogHistExactAggregates(t *testing.T) {
+	var h LogHist
+	vals := []int64{5, 0, 17, 17, 1023, 3, 64}
+	var sum int64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != int64(len(vals)) || h.Sum() != sum {
+		t.Fatalf("count %d sum %d, want %d %d", h.Count(), h.Sum(), len(vals), sum)
+	}
+	if h.Min() != 0 || h.Max() != 1023 {
+		t.Fatalf("min %d max %d", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), float64(sum)/float64(len(vals)); got != want {
+		t.Fatalf("mean %v want %v", got, want)
+	}
+	// Negative input is clamped, not a panic.
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatal("negative observation must clamp to 0")
+	}
+}
+
+// TestLogHistQuantileFactor2 checks the quantile contract: the reported
+// value is ≥ the true quantile and < 2× it (bounded by max).
+func TestLogHistQuantileFactor2(t *testing.T) {
+	rng := NewRNG(3)
+	var h LogHist
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Exp(500))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		rank := int(q*float64(len(vals))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		truth := vals[rank]
+		got := h.Quantile(q)
+		if got < truth {
+			t.Errorf("q=%v: reported %d below true quantile %d", q, got, truth)
+		}
+		if truth > 1 && got >= 2*truth {
+			t.Errorf("q=%v: reported %d not within 2x of true quantile %d", q, got, truth)
+		}
+	}
+	if h.Quantile(0) < h.Min() {
+		t.Error("q=0 below min")
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q=1 is %d, want max %d", h.Quantile(1), h.Max())
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	var a, b, all LogHist
+	for i := int64(0); i < 100; i++ {
+		a.Observe(i * 3)
+		all.Observe(i * 3)
+	}
+	for i := int64(0); i < 50; i++ {
+		b.Observe(i * 7)
+		all.Observe(i * 7)
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatal("merge differs from direct observation")
+	}
+	var empty LogHist
+	a.Merge(&empty)
+	if a != all {
+		t.Fatal("merging an empty histogram changed the result")
+	}
+}

@@ -134,8 +134,21 @@ func DefaultGoogleLike(jobs int, meanGap float64, seed uint64) GoogleLike {
 // duration SD so the fitted Pareto is heavy-tailed (small α); stable
 // phases get a low SD.
 func (g GoogleLike) Generate() []*workload.Job {
-	rng := stats.NewRNG(g.Seed)
 	jobs := make([]*workload.Job, 0, g.Jobs)
+	g.Emit(func(j *workload.Job) error { // error-free emit never fails
+		jobs = append(jobs, j)
+		return nil
+	})
+	return jobs
+}
+
+// Emit generates the same jobs as Generate — bit-for-bit, same seed
+// discipline — but hands each to emit as it is drawn instead of
+// materializing the list, so a multi-million-job trace can stream to
+// disk in O(1) memory. Generation stops at the first emit error, which
+// is returned.
+func (g GoogleLike) Emit(emit func(*workload.Job) error) error {
+	rng := stats.NewRNG(g.Seed)
 	arr := Arrival{Kind: Poisson, MeanGap: g.MeanGap}
 	var t int64
 	for i := 0; i < g.Jobs; i++ {
@@ -143,9 +156,11 @@ func (g GoogleLike) Generate() []*workload.Job {
 			t = arr.next(t, rng)
 		}
 		jrng := rng.Split(uint64(i))
-		jobs = append(jobs, g.job(workload.JobID(i), t, jrng))
+		if err := emit(g.job(workload.JobID(i), t, jrng)); err != nil {
+			return err
+		}
 	}
-	return jobs
+	return nil
 }
 
 func (g GoogleLike) job(id workload.JobID, arrival int64, rng *stats.RNG) *workload.Job {

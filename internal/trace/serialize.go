@@ -80,15 +80,44 @@ func DecodeSubmission(body []byte) ([]*workload.Job, error) {
 }
 
 // decodeStrict decodes exactly one JSON value into v, rejecting unknown
-// fields and any trailing non-whitespace data.
+// fields and any trailing non-whitespace data. A document that ends
+// mid-value — a truncated download, a torn write — comes back as a
+// *CorruptError naming the byte offset where decoding stopped, so the
+// caller can report *where* the file went wrong, not just that it did
+// (mirroring the journal's positional torn-tail reporting).
 func decodeStrict(r io.Reader, v interface{}) error {
-	dec := json.NewDecoder(r)
+	cr := &countingReader{r: r}
+	dec := json.NewDecoder(cr)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// The document ran out mid-value: the corruption offset is
+			// where the input ends (the decoder consumed it all looking
+			// for the rest).
+			return &CorruptError{Offset: cr.n, Frame: -1,
+				Reason: "truncated JSON document", Err: err}
+		}
+		if syn, ok := err.(*json.SyntaxError); ok {
+			return &CorruptError{Offset: syn.Offset, Frame: -1,
+				Reason: "malformed JSON", Err: err}
+		}
 		return err
 	}
 	if _, err := dec.Token(); err != io.EOF {
 		return fmt.Errorf("trailing data after JSON document")
 	}
 	return nil
+}
+
+// countingReader tracks how many bytes the decoder has consumed, so a
+// truncated document can be reported positionally.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
